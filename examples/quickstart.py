@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: accelerate MPI_Pack on a strided GPU datatype with TEMPI.
+
+This is the smallest end-to-end use of the library:
+
+1. build a simulated single-rank MPI world (one GPU, Summit-like costs);
+2. describe a 2-D strided object with a plain ``MPI_Type_vector``;
+3. commit it twice — once through the system MPI, once through the TEMPI
+   interposer — and pack it with both;
+4. print the virtual-time latency of each and the speedup, which is the
+   paper's headline effect (Fig. 8).
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import format_us
+from repro.mpi.constructors import Type_vector
+from repro.mpi.datatype import BYTE
+from repro.mpi.world import World
+from repro.tempi.interposer import TempiCommunicator, interpose
+
+
+def pack_once(use_tempi: bool) -> tuple[float, np.ndarray]:
+    """Pack one 1 MiB object of 8-byte blocks; return (latency, packed bytes)."""
+    world = World(nranks=1)
+    ctx = world.contexts[0]
+    comm = interpose(ctx) if use_tempi else ctx.comm
+
+    # 1 MiB object made of 8-byte contiguous runs, 512 B apart (Fig. 8's shape).
+    nblocks = (1 << 20) // 8
+    datatype = comm.Type_commit(Type_vector(nblocks, 8, 512, BYTE))
+
+    source = ctx.gpu.malloc(datatype.extent)
+    source.data[:] = np.arange(source.nbytes, dtype=np.uint32).astype(np.uint8)
+    packed = ctx.gpu.malloc(datatype.size)
+
+    start = ctx.clock.now
+    comm.Pack((source, 1, datatype), packed, 0)
+    elapsed = ctx.clock.now - start
+
+    if use_tempi:
+        handler = TempiCommunicator.handler_of(datatype)
+        print("TEMPI committed handler:")
+        print(f"  canonical strided block : {handler.packer.block}")
+        print(f"  kernel word size        : {handler.packer.kernel.word_size} B")
+        print(f"  kernel block dim        : {handler.packer.kernel.block_dim}")
+    return elapsed, packed.data.copy()
+
+
+def main() -> None:
+    baseline_time, baseline_bytes = pack_once(use_tempi=False)
+    tempi_time, tempi_bytes = pack_once(use_tempi=True)
+
+    assert np.array_equal(baseline_bytes, tempi_bytes), "packed bytes must be identical"
+
+    print()
+    print(f"MPI_Pack latency, system MPI baseline : {format_us(baseline_time):>14} us")
+    print(f"MPI_Pack latency, TEMPI interposed    : {format_us(tempi_time):>14} us")
+    print(f"speedup                               : {baseline_time / tempi_time:14,.0f} x")
+    print()
+    print("Both paths produced byte-identical packed buffers; TEMPI replaced")
+    print("one cudaMemcpyAsync per 8-byte block with a single pack kernel.")
+
+
+if __name__ == "__main__":
+    main()

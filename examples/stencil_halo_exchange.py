@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""3-D stencil halo exchange: the paper's application case study (Sec. 6.4).
+
+Two parts:
+
+1. **Functional run** — an 8-rank world exchanges halos of a small grid with
+   real byte movement, once against the system MPI baseline and once through
+   the TEMPI interposer, verifying ghost-cell contents both times and
+   printing the per-phase virtual times.
+2. **Paper-scale model** — the same per-rank cost expressions evaluated for
+   the paper's 256-cubed-per-rank problem from 1 to 3072 ranks, printing the
+   Fig. 12 phase breakdown and the whole-exchange speedup.
+
+Run with:  python examples/stencil_halo_exchange.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.exchange_model import model_halo_exchange
+from repro.apps.halo import HaloSpec
+from repro.apps.stencil import HaloExchange, aggregate_timings
+from repro.bench.harness import format_table
+from repro.mpi.world import World
+from repro.tempi.interposer import interpose
+
+
+def functional_run(use_tempi: bool):
+    """Run the real exchange on 8 ranks of a small grid; return phase maxima."""
+    spec = HaloSpec(nx=8, ny=8, nz=8, radius=2, fields=4, bytes_per_field=8)
+
+    def program(ctx):
+        comm = interpose(ctx) if use_tempi else ctx.comm
+        app = HaloExchange(ctx, comm, spec)
+        timings = app.run(iterations=2, verify=True)
+        return timings[-1]  # steady-state iteration
+
+    world = World(8, ranks_per_node=4)
+    per_rank = world.run(program)
+    return aggregate_timings(per_rank)
+
+
+def paper_scale_model():
+    """Fig. 12's sweep of nodes x ranks-per-node at the paper's problem size."""
+    rows = []
+    for nodes in (1, 2, 8, 32, 128, 512):
+        for ranks_per_node in (1, 6):
+            baseline = model_halo_exchange(nodes, ranks_per_node, tempi=False)
+            tempi = model_halo_exchange(nodes, ranks_per_node, tempi=True)
+            rows.append(
+                [
+                    f"{nodes}x{ranks_per_node}",
+                    baseline.nranks,
+                    f"{tempi.pack_s * 1e3:8.2f}",
+                    f"{tempi.comm_s * 1e3:8.2f}",
+                    f"{tempi.unpack_s * 1e3:8.2f}",
+                    f"{baseline.total_s * 1e3:10.1f}",
+                    f"{baseline.total_s / tempi.total_s:8.0f}x",
+                ]
+            )
+    return rows
+
+
+def main() -> None:
+    print("== Functional 8-rank exchange (small grid, real bytes, ghosts verified)")
+    baseline = functional_run(use_tempi=False)
+    accelerated = functional_run(use_tempi=True)
+    print(
+        format_table(
+            ["phase", "baseline (us)", "TEMPI (us)", "speedup"],
+            [
+                ["MPI_Pack", f"{baseline.pack_s * 1e6:12.1f}", f"{accelerated.pack_s * 1e6:10.1f}",
+                 f"{baseline.pack_s / accelerated.pack_s:6.0f}x"],
+                ["Alltoallv", f"{baseline.comm_s * 1e6:12.1f}", f"{accelerated.comm_s * 1e6:10.1f}",
+                 f"{baseline.comm_s / max(accelerated.comm_s, 1e-12):6.1f}x"],
+                ["MPI_Unpack", f"{baseline.unpack_s * 1e6:12.1f}", f"{accelerated.unpack_s * 1e6:10.1f}",
+                 f"{baseline.unpack_s / accelerated.unpack_s:6.0f}x"],
+                ["total", f"{baseline.total_s * 1e6:12.1f}", f"{accelerated.total_s * 1e6:10.1f}",
+                 f"{baseline.total_s / accelerated.total_s:6.0f}x"],
+            ],
+        )
+    )
+
+    print()
+    print("== Paper-scale model (256^3 points/rank, radius 3, 8x8-byte fields)")
+    print(
+        format_table(
+            ["nodes x rpn", "ranks", "pack (ms)", "alltoallv (ms)", "unpack (ms)",
+             "baseline total (ms)", "speedup"],
+            paper_scale_model(),
+        )
+    )
+    print()
+    print("Pack/unpack stay flat as ranks grow (per-rank data is constant) while the")
+    print("all-to-all-v grows, so the whole-exchange speedup shrinks with scale —")
+    print("the trend of Fig. 12.")
+
+
+if __name__ == "__main__":
+    main()

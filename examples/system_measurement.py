@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Run the system measurement sweep and query the performance model.
+
+TEMPI ships a measurement binary that is run once per system before the
+library is used (Sec. 6.3); this example is that step for the simulated
+machine.  It:
+
+1. runs the sweep (transfer curves + pack/unpack tables) and writes the
+   measurement file next to this script;
+2. prints the four Fig. 9a curves at a few sizes;
+3. evaluates the Eq. 1-3 models for a grid of (object size, block length)
+   points and prints which method the model selects where — the crossover
+   map that drives MPI_Send's automatic method selection.
+
+Run with:  python examples/system_measurement.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.harness import format_table, format_us
+from repro.machine.spec import SUMMIT
+from repro.tempi.measurement import measure_system
+from repro.tempi.perf_model import PerformanceModel
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def main() -> None:
+    output = Path(__file__).with_name("summit_measurement.json")
+    print(f"Measuring the simulated Summit-like system -> {output.name}")
+    measurement = measure_system(SUMMIT, path=output)
+    model = PerformanceModel(measurement)
+
+    print("\n== Transfer latencies (the Fig. 9a curves)")
+    sizes = [1, 64, KIB, 64 * KIB, MIB]
+    rows = []
+    for size in sizes:
+        rows.append(
+            [
+                f"{size:,} B",
+                format_us(model.transfer_time("d2h", size)),
+                format_us(model.transfer_time("h2d", size)),
+                format_us(model.transfer_time("cpu_cpu", size)),
+                format_us(model.transfer_time("gpu_gpu", size)),
+            ]
+        )
+    print(format_table(["size", "T_d2h (us)", "T_h2d (us)", "T_cpu-cpu (us)", "T_gpu-gpu (us)"], rows))
+
+    print("\n== Method selection map (Eqs. 1-3; 'o' = one-shot, 'D' = device)")
+    blocks = [1, 4, 16, 64, 256]
+    object_sizes = [KIB, 16 * KIB, 256 * KIB, MIB, 4 * MIB]
+    header = ["object \\ block"] + [f"{b} B" for b in blocks]
+    rows = []
+    for size in object_sizes:
+        row = [f"{size // KIB} KiB" if size < MIB else f"{size // MIB} MiB"]
+        for block in blocks:
+            choice = model.choose_method(size, block)
+            row.append("o" if choice.value == "oneshot" else "D")
+        rows.append(row)
+    print(format_table(header, rows))
+
+    print("\n== Modelled end-to-end send latencies for a 1 MiB object")
+    rows = []
+    for block in blocks:
+        estimate = model.estimate(MIB, block)
+        rows.append(
+            [
+                f"{block} B",
+                format_us(estimate.oneshot),
+                format_us(estimate.device),
+                format_us(estimate.staged),
+                estimate.best().value,
+            ]
+        )
+    print(format_table(["block", "one-shot (us)", "device (us)", "staged (us)", "selected"], rows))
+    print("\nThe staged method is never selected, matching Fig. 9b.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,149 @@
+"""Analytic halo-exchange model for paper-scale rank counts (Fig. 12).
+
+The functional :class:`~repro.apps.stencil.HaloExchange` moves real bytes and
+is limited to tens of ranks of modest grids on one machine.  Fig. 12 runs
+256³ points per rank on up to 512 nodes × 6 GPUs = 3072 ranks; this module
+evaluates the *same per-rank cost expressions* the functional path charges —
+baseline per-block memcpys or TEMPI kernels for pack/unpack, the network
+model for the all-to-all-v — without allocating gigabytes or spawning
+thousands of threads.
+
+Because every rank owns an identical sub-domain and the decomposition is
+periodic, ranks are statistically identical; the model evaluates one
+representative rank per node position and reports the maximum across the
+distinct neighbour placements, which is what the paper's "maximum time across
+all ranks" reduces to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.halo import DIRECTIONS, HaloSpec, RankGrid
+from repro.machine.network import NetworkModel
+from repro.machine.spec import SUMMIT, MachineSpec
+from repro.machine.topology import Topology
+from repro.tempi.config import TempiConfig
+
+
+@dataclass(frozen=True)
+class ExchangeBreakdown:
+    """Modelled per-phase seconds of one halo exchange (max across ranks)."""
+
+    nodes: int
+    ranks_per_node: int
+    nranks: int
+    pack_s: float
+    comm_s: float
+    unpack_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.pack_s + self.comm_s + self.unpack_s
+
+
+def _pack_phase_time(
+    spec: HaloSpec,
+    machine: MachineSpec,
+    *,
+    tempi: bool,
+    unpack: bool,
+    config: TempiConfig,
+) -> float:
+    """Time one rank spends packing (or unpacking) its 26 halos."""
+    gpu = machine.node.gpu
+    total = 0.0
+    for direction in DIRECTIONS:
+        nbytes = spec.halo_bytes(direction)
+        block = spec.halo_block_length(direction)
+        if tempi:
+            total += gpu.kernel_time(nbytes, block, target="device", unpack=unpack)
+            total += config.handler_lookup_s + config.pointer_check_s
+        else:
+            blocks = spec.halo_block_count(direction)
+            total += blocks * gpu.memcpy_call_s + nbytes / gpu.d2d_bandwidth
+    return total
+
+
+def _comm_phase_time(
+    spec: HaloSpec,
+    grid: RankGrid,
+    topology: Topology,
+    network: NetworkModel,
+) -> float:
+    """Time the slowest rank spends in the all-to-all-v.
+
+    Every rank exchanges the same 26 sections; what differs is how many of its
+    neighbours share its node.  The model evaluates every rank's aggregate
+    per-peer byte counts through the same :meth:`NetworkModel.alltoallv_time`
+    the functional path charges and returns the maximum — but since ranks on
+    the same node position are identical it only needs to examine one node's
+    worth of ranks.
+    """
+    representatives = range(min(grid.nranks, topology.ranks_per_node))
+    worst = 0.0
+    for rank in representatives:
+        per_pair = [0] * grid.nranks
+        for direction, peer in grid.neighbors(rank):
+            per_pair[peer] += spec.halo_bytes(direction)
+        worst = max(
+            worst,
+            network.alltoallv_time(per_pair, topology, rank, device_buffers=True),
+        )
+    return worst
+
+
+def model_halo_exchange(
+    nodes: int,
+    ranks_per_node: int,
+    *,
+    spec: HaloSpec | None = None,
+    machine: MachineSpec = SUMMIT,
+    tempi: bool = True,
+    config: TempiConfig | None = None,
+) -> ExchangeBreakdown:
+    """Model one halo exchange at ``nodes × ranks_per_node`` scale.
+
+    ``tempi=False`` prices the pack/unpack phases with the Spectrum-like
+    baseline (one memcpy per contiguous block); ``tempi=True`` prices them
+    with TEMPI's kernels.  The communication phase is identical in both cases,
+    which is why the paper's speedup shrinks as communication grows with the
+    rank count.
+    """
+    if nodes <= 0 or ranks_per_node <= 0:
+        raise ValueError("nodes and ranks_per_node must be positive")
+    spec = spec if spec is not None else HaloSpec.paper()
+    config = config if config is not None else TempiConfig()
+    nranks = nodes * ranks_per_node
+    grid = RankGrid.for_ranks(nranks)
+    topology = Topology(nranks, ranks_per_node=ranks_per_node, machine=machine)
+    network = NetworkModel(machine)
+
+    pack = _pack_phase_time(spec, machine, tempi=tempi, unpack=False, config=config)
+    unpack = _pack_phase_time(spec, machine, tempi=tempi, unpack=True, config=config)
+    comm = _comm_phase_time(spec, grid, topology, network)
+    return ExchangeBreakdown(
+        nodes=nodes,
+        ranks_per_node=ranks_per_node,
+        nranks=nranks,
+        pack_s=pack,
+        comm_s=comm,
+        unpack_s=unpack,
+    )
+
+
+def halo_exchange_speedup(
+    nodes: int,
+    ranks_per_node: int,
+    *,
+    spec: HaloSpec | None = None,
+    machine: MachineSpec = SUMMIT,
+) -> float:
+    """Whole-exchange speedup of TEMPI over the baseline (Fig. 12b)."""
+    baseline = model_halo_exchange(
+        nodes, ranks_per_node, spec=spec, machine=machine, tempi=False
+    )
+    accelerated = model_halo_exchange(
+        nodes, ranks_per_node, spec=spec, machine=machine, tempi=True
+    )
+    return baseline.total_s / accelerated.total_s

@@ -1,0 +1,211 @@
+"""Halo-region geometry and datatypes for the 3-D stencil.
+
+One rank owns an ``nx × ny × nz`` block of gridpoints surrounded by a ghost
+shell of ``radius`` points.  Every gridpoint carries ``fields`` values of
+``bytes_per_field`` bytes (the paper: eight 8-byte values), stored
+point-major so one gridpoint is a contiguous ``fields × bytes_per_field``
+run.  For each of the 26 directions the rank must send the interior slab of
+thickness ``radius`` adjacent to that face/edge/corner and receive into the
+corresponding ghost slab; both regions are described as byte subarrays of the
+allocation, which is exactly the strided family TEMPI canonicalises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Iterator
+
+from repro.mpi.constructors import SubarrayDatatype, Type_create_subarray
+from repro.mpi.datatype import BYTE, ORDER_C
+
+#: The 26 neighbour directions of a 3-D stencil with corners, as (dx, dy, dz).
+DIRECTIONS: tuple[tuple[int, int, int], ...] = tuple(
+    d for d in product((-1, 0, 1), repeat=3) if d != (0, 0, 0)
+)
+
+
+@dataclass(frozen=True)
+class HaloSpec:
+    """Geometry of one rank's sub-domain.
+
+    The defaults correspond to the paper's configuration scaled down; the
+    paper's own numbers (``nx = ny = nz = 256``, ``radius = 3``,
+    ``fields = 8``, ``bytes_per_field = 8``) are provided by
+    :meth:`HaloSpec.paper`.
+    """
+
+    nx: int = 16
+    ny: int = 16
+    nz: int = 16
+    radius: int = 3
+    fields: int = 8
+    bytes_per_field: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.nx, self.ny, self.nz) <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if self.radius <= 0:
+            raise ValueError("stencil radius must be positive")
+        if min(self.nx, self.ny, self.nz) < self.radius:
+            raise ValueError("grid dimensions must be at least the stencil radius")
+        if self.fields <= 0 or self.bytes_per_field <= 0:
+            raise ValueError("fields and bytes_per_field must be positive")
+
+    @classmethod
+    def paper(cls) -> "HaloSpec":
+        """The configuration of Sec. 6.4 (256³ points, radius 3, 8×8 B values)."""
+        return cls(nx=256, ny=256, nz=256, radius=3, fields=8, bytes_per_field=8)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def point_bytes(self) -> int:
+        """Bytes per gridpoint."""
+        return self.fields * self.bytes_per_field
+
+    @property
+    def alloc_dims(self) -> tuple[int, int, int]:
+        """Allocation extents including ghost shells, as (ax, ay, az) points."""
+        pad = 2 * self.radius
+        return (self.nx + pad, self.ny + pad, self.nz + pad)
+
+    @property
+    def alloc_bytes(self) -> int:
+        """Bytes of one rank's allocation."""
+        ax, ay, az = self.alloc_dims
+        return ax * ay * az * self.point_bytes
+
+    def halo_extents(self, direction: tuple[int, int, int]) -> tuple[int, int, int]:
+        """Points of the halo slab in each axis for one direction."""
+        dx, dy, dz = direction
+        return (
+            self.radius if dx else self.nx,
+            self.radius if dy else self.ny,
+            self.radius if dz else self.nz,
+        )
+
+    def halo_bytes(self, direction: tuple[int, int, int]) -> int:
+        """Payload bytes of one halo region."""
+        sx, sy, sz = self.halo_extents(direction)
+        return sx * sy * sz * self.point_bytes
+
+    def total_halo_bytes(self) -> int:
+        """Payload bytes a rank sends per exchange (all 26 directions)."""
+        return sum(self.halo_bytes(d) for d in DIRECTIONS)
+
+    def halo_block_length(self, direction: tuple[int, int, int]) -> int:
+        """Contiguous-run bytes of one halo region (the x-extent of the slab)."""
+        sx, _, _ = self.halo_extents(direction)
+        return sx * self.point_bytes
+
+    def halo_block_count(self, direction: tuple[int, int, int]) -> int:
+        """Number of contiguous runs in one halo region."""
+        _, sy, sz = self.halo_extents(direction)
+        return sy * sz
+
+    # -------------------------------------------------------------- datatypes
+    def _region_start(
+        self, direction: tuple[int, int, int], *, interior: bool
+    ) -> tuple[int, int, int]:
+        """Starting point indices of the send (interior) or recv (ghost) slab."""
+        starts = []
+        for axis, delta in enumerate(direction):
+            n = (self.nx, self.ny, self.nz)[axis]
+            if delta == 0:
+                starts.append(self.radius)
+            elif delta < 0:
+                starts.append(self.radius if interior else 0)
+            else:
+                starts.append(n if interior else n + self.radius)
+        return tuple(starts)
+
+    def _subarray(
+        self, direction: tuple[int, int, int], *, interior: bool
+    ) -> SubarrayDatatype:
+        ax, ay, az = self.alloc_dims
+        sx, sy, sz = self.halo_extents(direction)
+        startx, starty, startz = self._region_start(direction, interior=interior)
+        elem = self.point_bytes
+        # ORDER_C lists dimensions slowest first; x (× point bytes) is fastest.
+        return Type_create_subarray(
+            sizes=(az, ay, ax * elem),
+            subsizes=(sz, sy, sx * elem),
+            starts=(startz, starty, startx * elem),
+            order=ORDER_C,
+            oldtype=BYTE,
+        )
+
+    def send_datatype(self, direction: tuple[int, int, int]) -> SubarrayDatatype:
+        """Datatype describing the interior slab sent toward ``direction``."""
+        self._check_direction(direction)
+        return self._subarray(direction, interior=True)
+
+    def recv_datatype(self, direction: tuple[int, int, int]) -> SubarrayDatatype:
+        """Datatype describing the ghost slab received from ``direction``."""
+        self._check_direction(direction)
+        return self._subarray(direction, interior=False)
+
+    @staticmethod
+    def _check_direction(direction: tuple[int, int, int]) -> None:
+        if direction not in DIRECTIONS:
+            raise ValueError(f"{direction!r} is not one of the 26 stencil directions")
+
+
+@dataclass(frozen=True)
+class RankGrid:
+    """A periodic 3-D decomposition of ``nranks`` ranks."""
+
+    dims: tuple[int, int, int]
+
+    @classmethod
+    def for_ranks(cls, nranks: int) -> "RankGrid":
+        """A near-cubic factorisation of ``nranks`` into three grid dimensions."""
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        best = (nranks, 1, 1)
+        best_score = None
+        for px in range(1, nranks + 1):
+            if nranks % px:
+                continue
+            rest = nranks // px
+            for py in range(1, rest + 1):
+                if rest % py:
+                    continue
+                pz = rest // py
+                dims = tuple(sorted((px, py, pz), reverse=True))
+                score = max(dims) - min(dims)
+                if best_score is None or score < best_score:
+                    best, best_score = dims, score
+        return cls(dims=best)
+
+    @property
+    def nranks(self) -> int:
+        px, py, pz = self.dims
+        return px * py * pz
+
+    def coords(self, rank: int) -> tuple[int, int, int]:
+        """3-D coordinates of a rank (x fastest)."""
+        self._check_rank(rank)
+        px, py, _ = self.dims
+        return (rank % px, (rank // px) % py, rank // (px * py))
+
+    def rank_of(self, coords: tuple[int, int, int]) -> int:
+        """Rank at (periodic) coordinates."""
+        px, py, pz = self.dims
+        x, y, z = (coords[0] % px, coords[1] % py, coords[2] % pz)
+        return x + px * (y + py * z)
+
+    def neighbor(self, rank: int, direction: tuple[int, int, int]) -> int:
+        """Rank of the periodic neighbour in ``direction``."""
+        x, y, z = self.coords(rank)
+        dx, dy, dz = direction
+        return self.rank_of((x + dx, y + dy, z + dz))
+
+    def neighbors(self, rank: int) -> Iterator[tuple[tuple[int, int, int], int]]:
+        """All 26 ``(direction, neighbour rank)`` pairs for a rank."""
+        for direction in DIRECTIONS:
+            yield direction, self.neighbor(rank, direction)
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} outside grid of {self.nranks}")

@@ -1,0 +1,119 @@
+"""Command-line interface.
+
+TEMPI ships a measurement binary that administrators run once per system;
+this module is the reproduction's equivalent, plus two convenience commands
+used while studying the model:
+
+``python -m repro.cli measure --output summit.json``
+    Run the full system-measurement sweep and write the measurement file the
+    performance model loads at run time (Sec. 6.3).
+
+``python -m repro.cli predict --measurement summit.json --size 1048576 --block 8``
+    Query the performance model: the three Eq. 1-3 latencies and the selected
+    method for one (object size, block length) point.
+
+``python -m repro.cli halo --nodes 512 --ranks-per-node 6``
+    Evaluate the paper-scale halo-exchange model (Fig. 12) for one scale
+    point, printing the phase breakdown and the speedup over the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.apps.exchange_model import model_halo_exchange
+from repro.apps.halo import HaloSpec
+from repro.machine.spec import SUMMIT
+from repro.tempi.measurement import SystemMeasurement, measure_system
+from repro.tempi.perf_model import PerformanceModel
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TEMPI reproduction utilities (measurement sweep, model queries, halo model)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    measure = sub.add_parser("measure", help="run the system measurement sweep")
+    measure.add_argument("--output", type=Path, default=Path("measurement.json"),
+                         help="where to write the measurement file")
+
+    predict = sub.add_parser("predict", help="query the packing-method performance model")
+    predict.add_argument("--measurement", type=Path, default=None,
+                         help="measurement file from 'measure' (measured on the fly if omitted)")
+    predict.add_argument("--size", type=int, required=True, help="object payload in bytes")
+    predict.add_argument("--block", type=int, required=True, help="contiguous block length in bytes")
+
+    halo = sub.add_parser("halo", help="evaluate the paper-scale halo-exchange model (Fig. 12)")
+    halo.add_argument("--nodes", type=int, required=True)
+    halo.add_argument("--ranks-per-node", type=int, default=6)
+    halo.add_argument("--points", type=int, default=256,
+                      help="gridpoints per rank along each axis (paper: 256)")
+    halo.add_argument("--radius", type=int, default=3, help="stencil radius (paper: 3)")
+    return parser
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    measurement = measure_system(SUMMIT, path=args.output)
+    print(f"wrote {args.output} ({len(measurement.sizes)} sizes x "
+          f"{len(measurement.block_lengths)} block lengths, machine '{measurement.machine_name}')")
+    return 0
+
+
+def _load_model(measurement_path: Optional[Path]) -> PerformanceModel:
+    if measurement_path is not None:
+        return PerformanceModel(SystemMeasurement.load(measurement_path))
+    return PerformanceModel(measure_system(SUMMIT))
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    if args.size <= 0 or args.block <= 0:
+        print("error: --size and --block must be positive", file=sys.stderr)
+        return 2
+    model = _load_model(args.measurement)
+    estimate = model.estimate(args.size, args.block)
+    print(f"object          : {args.size:,} B in {args.block} B contiguous runs")
+    print(f"T_oneshot (Eq.2): {estimate.oneshot * 1e6:12.1f} us")
+    print(f"T_device  (Eq.1): {estimate.device * 1e6:12.1f} us")
+    print(f"T_staged  (Eq.3): {estimate.staged * 1e6:12.1f} us")
+    print(f"selected method : {estimate.best().value}")
+    return 0
+
+
+def _cmd_halo(args: argparse.Namespace) -> int:
+    if args.nodes <= 0 or args.ranks_per_node <= 0:
+        print("error: --nodes and --ranks-per-node must be positive", file=sys.stderr)
+        return 2
+    spec = HaloSpec(nx=args.points, ny=args.points, nz=args.points, radius=args.radius)
+    baseline = model_halo_exchange(args.nodes, args.ranks_per_node, spec=spec, tempi=False)
+    accelerated = model_halo_exchange(args.nodes, args.ranks_per_node, spec=spec, tempi=True)
+    print(f"scale             : {args.nodes} nodes x {args.ranks_per_node} ranks/node "
+          f"= {baseline.nranks} ranks")
+    print(f"domain            : {args.points}^3 points/rank, radius {args.radius}, "
+          f"{spec.point_bytes} B/point")
+    print(f"baseline exchange : pack {baseline.pack_s * 1e3:9.2f} ms | "
+          f"alltoallv {baseline.comm_s * 1e3:9.2f} ms | unpack {baseline.unpack_s * 1e3:9.2f} ms")
+    print(f"TEMPI exchange    : pack {accelerated.pack_s * 1e3:9.2f} ms | "
+          f"alltoallv {accelerated.comm_s * 1e3:9.2f} ms | unpack {accelerated.unpack_s * 1e3:9.2f} ms")
+    print(f"speedup           : {baseline.total_s / accelerated.total_s:,.0f}x")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro.cli`` (returns a process exit code)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "measure":
+        return _cmd_measure(args)
+    if args.command == "predict":
+        return _cmd_predict(args)
+    if args.command == "halo":
+        return _cmd_halo(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Error hierarchy for the simulated CUDA runtime.
+
+The real CUDA runtime reports errors through ``cudaError_t`` codes; TEMPI
+checks a handful of them (invalid value, out of memory, invalid memcpy
+direction).  The simulation raises Python exceptions from this hierarchy so
+tests can assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class CudaError(RuntimeError):
+    """Base class of every error raised by the simulated CUDA runtime."""
+
+
+class CudaInvalidValue(CudaError, ValueError):
+    """An argument was outside the accepted range (``cudaErrorInvalidValue``)."""
+
+
+class CudaOutOfMemory(CudaError, MemoryError):
+    """A device allocation exceeded the simulated device capacity."""
+
+
+class CudaMemcpyError(CudaError):
+    """A memcpy was issued with an impossible direction or overlapping range."""
+
+
+class CudaStreamError(CudaError):
+    """An operation used a destroyed or foreign stream."""
+
+
+class CudaBufferError(CudaError):
+    """A buffer was used after free, or a slice fell outside the allocation."""

@@ -1,0 +1,32 @@
+"""Machine and network description.
+
+The paper's evaluation platform is OLCF Summit: two POWER9 CPUs and six V100
+GPUs per node, NVLink 2 within a node and EDR InfiniBand between nodes, with
+Spectrum MPI providing both a CPU path (≈1.3 µs small-message latency in
+Fig. 9a) and a CUDA-aware GPU path (≈6 µs floor).  This package captures that
+machine as data (:mod:`repro.machine.spec`), provides a postal-model network
+(:mod:`repro.machine.network`) used by the simulated MPI to price messages,
+and maps ranks onto nodes and GPUs (:mod:`repro.machine.topology`).
+"""
+
+from repro.machine.network import NetworkModel, TransferPath
+from repro.machine.spec import (
+    SUMMIT,
+    InterconnectSpec,
+    MachineSpec,
+    NodeSpec,
+    summit_like,
+)
+from repro.machine.topology import RankPlacement, Topology
+
+__all__ = [
+    "InterconnectSpec",
+    "MachineSpec",
+    "NetworkModel",
+    "NodeSpec",
+    "RankPlacement",
+    "SUMMIT",
+    "Topology",
+    "TransferPath",
+    "summit_like",
+]

@@ -1,0 +1,159 @@
+"""Network cost model.
+
+The simulated MPI prices every message with this model.  It follows the
+postal/alpha-beta family the paper cites (Bar-Noy & Kipnis; Bienz et al.):
+a latency floor, a bandwidth term, an eager→rendezvous switch, and — because
+CUDA-awareness matters enormously here — different constants for host-resident
+and device-resident buffers, and for intra- versus inter-node endpoints.
+
+Fig. 9a of the paper is, essentially, a direct measurement of four of this
+model's curves (``T_cpu-cpu``, ``T_gpu-gpu``, ``T_d2h``, ``T_h2d``); the
+benchmark ``bench_fig09_transfers.py`` regenerates them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.machine.spec import SUMMIT, MachineSpec
+from repro.machine.topology import Topology
+
+
+class TransferPath(enum.Enum):
+    """Which physical path a message takes."""
+
+    INTRA_CPU = "intra_cpu"
+    INTRA_GPU = "intra_gpu"
+    INTER_CPU = "inter_cpu"
+    INTER_GPU = "inter_gpu"
+
+
+@dataclass(frozen=True)
+class MessageCost:
+    """Breakdown of one message's cost."""
+
+    path: TransferPath
+    nbytes: int
+    latency_s: float
+    bandwidth_s: float
+    rendezvous_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.latency_s + self.bandwidth_s + self.rendezvous_s
+
+
+class NetworkModel:
+    """Prices point-to-point messages on a :class:`MachineSpec`."""
+
+    def __init__(self, machine: MachineSpec = SUMMIT) -> None:
+        self.machine = machine
+
+    # ----------------------------------------------------------------- paths
+    def path(self, *, same_node: bool, device_buffers: bool) -> TransferPath:
+        """Select the transfer path for a message."""
+        if same_node:
+            return TransferPath.INTRA_GPU if device_buffers else TransferPath.INTRA_CPU
+        return TransferPath.INTER_GPU if device_buffers else TransferPath.INTER_CPU
+
+    def _interconnect(self, path: TransferPath):
+        node = self.machine.node
+        if path is TransferPath.INTRA_CPU:
+            return node.intra_cpu
+        if path is TransferPath.INTRA_GPU:
+            return node.gpu_gpu
+        if path is TransferPath.INTER_CPU:
+            return self.machine.inter_cpu
+        return self.machine.inter_gpu
+
+    # -------------------------------------------------------------- messages
+    def message_cost(
+        self,
+        nbytes: int,
+        *,
+        same_node: bool = False,
+        device_buffers: bool = False,
+    ) -> MessageCost:
+        """Cost of one matched send/recv pair carrying ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        path = self.path(same_node=same_node, device_buffers=device_buffers)
+        link = self._interconnect(path)
+        rendezvous = (
+            self.machine.rendezvous_overhead_s if nbytes > self.machine.eager_threshold else 0.0
+        )
+        return MessageCost(
+            path=path,
+            nbytes=nbytes,
+            latency_s=link.latency_s + link.per_message_overhead_s,
+            bandwidth_s=nbytes / link.bandwidth_Bps,
+            rendezvous_s=rendezvous,
+        )
+
+    def message_time(
+        self,
+        nbytes: int,
+        *,
+        same_node: bool = False,
+        device_buffers: bool = False,
+    ) -> float:
+        """Total time of one message; the quantity Fig. 9a plots."""
+        return self.message_cost(
+            nbytes, same_node=same_node, device_buffers=device_buffers
+        ).total_s
+
+    def message_time_between(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        nbytes: int,
+        topology: Topology,
+        *,
+        device_buffers: bool = False,
+    ) -> float:
+        """Message time between two placed ranks."""
+        same = topology.same_node(src_rank, dst_rank)
+        return self.message_time(nbytes, same_node=same, device_buffers=device_buffers)
+
+    # ------------------------------------------------------------ collectives
+    def alltoallv_time(
+        self,
+        per_pair_bytes: list[int],
+        topology: Topology,
+        rank: int,
+        *,
+        device_buffers: bool = False,
+        overlap: float = 0.65,
+    ) -> float:
+        """Approximate time rank ``rank`` spends in an all-to-all-v.
+
+        The exchanges to distinct peers partially overlap on the NIC; the
+        ``overlap`` factor discounts the serial sum accordingly.  Fig. 12a's
+        growth of the alltoallv phase with node count comes from the growing
+        number of off-node peers priced by this function.
+        """
+        if len(per_pair_bytes) != topology.nranks:
+            raise ValueError("per_pair_bytes must have one entry per rank")
+        if not 0 < overlap <= 1:
+            raise ValueError("overlap must be in (0, 1]")
+        serial = 0.0
+        for peer, nbytes in enumerate(per_pair_bytes):
+            if peer == rank or nbytes == 0:
+                continue
+            serial += self.message_time(
+                nbytes,
+                same_node=topology.same_node(rank, peer),
+                device_buffers=device_buffers,
+            )
+        return serial * overlap
+
+    def d2h_time(self, nbytes: int) -> float:
+        """Bulk device→host copy time (the ``T_d2h`` curve of Fig. 9a)."""
+        link = self.machine.node.cpu_gpu
+        return link.transfer_time(nbytes)
+
+    def h2d_time(self, nbytes: int) -> float:
+        """Bulk host→device copy time (the ``T_h2d`` curve of Fig. 9a)."""
+        link = self.machine.node.cpu_gpu
+        return link.transfer_time(nbytes)

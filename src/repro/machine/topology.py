@@ -1,0 +1,85 @@
+"""Rank placement.
+
+The halo-exchange evaluation (Fig. 12) varies *nodes × ranks-per-node*; the
+cost of a message depends on whether its endpoints share a node (shared
+memory / NVLink) or not (InfiniBand).  :class:`Topology` maps a linear rank
+number onto a (node, local rank, GPU) triple using the block placement
+``jsrun`` would produce, and answers the only question the network model
+needs: are two ranks on the same node?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.spec import SUMMIT, MachineSpec
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Where one rank lives."""
+
+    rank: int
+    node: int
+    local_rank: int
+    gpu: int
+
+
+class Topology:
+    """Block placement of ``nranks`` ranks across nodes of a machine."""
+
+    def __init__(
+        self,
+        nranks: int,
+        ranks_per_node: int = 1,
+        machine: MachineSpec = SUMMIT,
+    ) -> None:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        if ranks_per_node <= 0:
+            raise ValueError(f"ranks_per_node must be positive, got {ranks_per_node}")
+        if ranks_per_node > machine.node.gpus:
+            raise ValueError(
+                f"ranks_per_node={ranks_per_node} exceeds the {machine.node.gpus} GPUs per node"
+            )
+        self.nranks = nranks
+        self.ranks_per_node = ranks_per_node
+        self.machine = machine
+        self.nnodes = (nranks + ranks_per_node - 1) // ranks_per_node
+        if self.nnodes > machine.max_nodes:
+            raise ValueError(
+                f"{self.nnodes} nodes requested but {machine.name} has only {machine.max_nodes}"
+            )
+
+    def placement(self, rank: int) -> RankPlacement:
+        """Node/local-rank/GPU of one rank (block placement, one GPU per rank)."""
+        self._check_rank(rank)
+        node = rank // self.ranks_per_node
+        local = rank % self.ranks_per_node
+        return RankPlacement(rank=rank, node=node, local_rank=local, gpu=local)
+
+    def node_of(self, rank: int) -> int:
+        """Node index of a rank."""
+        self._check_rank(rank)
+        return rank // self.ranks_per_node
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when two ranks share a node."""
+        return self.node_of(a) == self.node_of(b)
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All ranks placed on ``node``."""
+        if node < 0 or node >= self.nnodes:
+            raise ValueError(f"node {node} outside [0, {self.nnodes})")
+        first = node * self.ranks_per_node
+        return [r for r in range(first, min(first + self.ranks_per_node, self.nranks))]
+
+    def _check_rank(self, rank: int) -> None:
+        if rank < 0 or rank >= self.nranks:
+            raise ValueError(f"rank {rank} outside [0, {self.nranks})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Topology {self.nranks} ranks on {self.nnodes} nodes "
+            f"({self.ranks_per_node}/node) of {self.machine.name}>"
+        )

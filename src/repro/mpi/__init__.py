@@ -1,0 +1,75 @@
+"""Simulated MPI substrate (the "system MPI").
+
+The paper interposes TEMPI in front of IBM Spectrum MPI; this reproduction
+has no system MPI to interpose, so this package *is* the system MPI: a
+functional, thread-backed MPI subset with
+
+* named and derived datatypes (contiguous, vector, hvector, subarray,
+  indexed, struct) and a type-map flattener (:mod:`repro.mpi.typemap`);
+* the Spectrum-like **baseline datatype engine** that handles non-contiguous
+  GPU data with one ``cudaMemcpyAsync`` per contiguous block — the behaviour
+  the paper measures speedups against (:mod:`repro.mpi.baseline`);
+* point-to-point and collective communication priced by the
+  :class:`~repro.machine.network.NetworkModel` and accounted on per-rank
+  virtual clocks (:mod:`repro.mpi.p2p`, :mod:`repro.mpi.collectives`);
+* a threaded SPMD runner, :class:`repro.mpi.world.World`, that executes the
+  same function on every rank just like ``mpiexec`` would.
+
+Naming follows mpi4py's buffer-interface convention: capitalised methods
+(``Send``, ``Recv``, ``Pack`` …) operate on buffers + datatypes.
+"""
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.constructors import (
+    Type_contiguous,
+    Type_create_hindexed,
+    Type_create_hvector,
+    Type_create_struct,
+    Type_create_subarray,
+    Type_indexed,
+    Type_vector,
+)
+from repro.mpi.datatype import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT64,
+    Datatype,
+    NamedDatatype,
+    ORDER_C,
+    ORDER_FORTRAN,
+)
+from repro.mpi.errors import MpiError, MpiTypeError, MpiTruncationError
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.mpi.world import ProcessContext, World
+
+__all__ = [
+    "BYTE",
+    "CHAR",
+    "Communicator",
+    "DOUBLE",
+    "Datatype",
+    "FLOAT",
+    "INT",
+    "INT64",
+    "MpiError",
+    "MpiTruncationError",
+    "MpiTypeError",
+    "NamedDatatype",
+    "ORDER_C",
+    "ORDER_FORTRAN",
+    "ProcessContext",
+    "Request",
+    "Status",
+    "Type_contiguous",
+    "Type_create_hindexed",
+    "Type_create_hvector",
+    "Type_create_struct",
+    "Type_create_subarray",
+    "Type_indexed",
+    "Type_vector",
+    "World",
+]

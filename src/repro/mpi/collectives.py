@@ -1,0 +1,256 @@
+"""Collective operations.
+
+Only a small set is needed by the paper's evaluation: ``Barrier`` for phase
+timing, ``Bcast``/``Allgather``/``Allreduce`` for bookkeeping in the examples,
+and ``Alltoallv`` / ``Neighbor_alltoallv`` for the 3-D stencil halo exchange
+(Sec. 6.4).  All of them are composed from the point-to-point router; their
+virtual-time cost is charged analytically from the network model so that the
+functional data movement (which is interleaved arbitrarily by the thread
+scheduler) does not distort the reported latencies.
+
+Collective calls must be made by every rank of the communicator in the same
+order, as in MPI; a per-communicator sequence number keeps successive
+collectives from matching each other's messages.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Sequence
+
+import numpy as np
+
+from repro.mpi.errors import MpiArgumentError
+from repro.mpi.p2p import Envelope
+
+#: Tag space reserved for collectives, far above what applications use.
+_COLLECTIVE_TAG_BASE = 1_000_000_000
+
+
+def _next_collective_tag(comm) -> int:
+    sequence = getattr(comm, "_collective_sequence", 0)
+    comm._collective_sequence = sequence + 1
+    return _COLLECTIVE_TAG_BASE + sequence
+
+
+def _post_raw(comm, dest: int, tag: int, payload: np.ndarray, available_at: float) -> None:
+    comm.router.post(
+        Envelope(
+            source=comm.rank,
+            dest=dest,
+            tag=tag,
+            context=comm.context,
+            payload=np.ascontiguousarray(payload, dtype=np.uint8),
+            available_at=available_at,
+            device=False,
+        )
+    )
+
+
+def _receive_raw(comm, source: int, tag: int) -> Envelope:
+    return comm.router.receive(comm.rank, source, tag, comm.context)
+
+
+# --------------------------------------------------------------------------- #
+# Barrier
+# --------------------------------------------------------------------------- #
+
+def barrier(comm) -> None:
+    """Synchronise all ranks: clocks advance to the global maximum plus a
+    logarithmic latency term (a dissemination barrier's critical path)."""
+    import math
+
+    latency = comm.network.machine.inter_cpu.latency_s
+    rounds = max(1, math.ceil(math.log2(max(2, comm.size))))
+    if comm.world is not None and comm.size > 1:
+        latest = comm.world.barrier_wait(comm.rank, comm.clock.now)
+        comm.clock.advance_to(latest)
+    comm.clock.advance(rounds * latency)
+
+
+# --------------------------------------------------------------------------- #
+# Broadcast and object collectives
+# --------------------------------------------------------------------------- #
+
+def bcast(comm, spec, root: int = 0) -> None:
+    """Broadcast the buffer contents of ``root`` to every rank (linear tree)."""
+    if not 0 <= root < comm.size:
+        raise MpiArgumentError(f"root {root} outside communicator of size {comm.size}")
+    tag = _next_collective_tag(comm)
+    buffer, count, datatype = comm._resolve(spec)
+    nbytes = datatype.size * count
+    if comm.rank == root:
+        payload = buffer.data[:nbytes].copy()
+        for peer in range(comm.size):
+            if peer == root:
+                continue
+            duration = comm._message_time(nbytes, peer, buffer.is_device)
+            _post_raw(comm, peer, tag, payload, comm.clock.now + duration)
+        comm.clock.advance(comm._message_time(nbytes, (root + 1) % comm.size, buffer.is_device))
+    else:
+        envelope = _receive_raw(comm, root, tag)
+        comm.clock.advance_to(envelope.available_at)
+        buffer.data[: envelope.nbytes] = envelope.payload
+
+
+def allgather_object(comm, value) -> list:
+    """Gather one picklable object from every rank onto every rank."""
+    gather_tag = _next_collective_tag(comm)
+    reply_tag = _next_collective_tag(comm)
+    blob = np.frombuffer(pickle.dumps(value), dtype=np.uint8)
+    if comm.rank == 0:
+        gathered = [None] * comm.size
+        gathered[0] = value
+        for _ in range(comm.size - 1):
+            envelope = _receive_raw(comm, -1, gather_tag)
+            comm.clock.advance_to(envelope.available_at)
+            gathered[envelope.source] = pickle.loads(envelope.payload.tobytes())
+        result_blob = np.frombuffer(pickle.dumps(gathered), dtype=np.uint8)
+        for peer in range(1, comm.size):
+            _post_raw(comm, peer, reply_tag, result_blob, comm.clock.now)
+        return gathered
+    _post_raw(comm, 0, gather_tag, blob, comm.clock.now)
+    envelope = _receive_raw(comm, 0, reply_tag)
+    comm.clock.advance_to(envelope.available_at)
+    return pickle.loads(envelope.payload.tobytes())
+
+
+def allreduce_scalar(comm, value: float, op: str = "sum") -> float:
+    """Allreduce of one scalar with ``sum``, ``max`` or ``min``."""
+    if op not in ("sum", "max", "min"):
+        raise MpiArgumentError(f"unsupported reduction {op!r}")
+    values = allgather_object(comm, float(value))
+    if op == "sum":
+        return float(sum(values))
+    if op == "max":
+        return float(max(values))
+    return float(min(values))
+
+
+# --------------------------------------------------------------------------- #
+# All-to-all-v
+# --------------------------------------------------------------------------- #
+
+def _validate_vector_args(comm, counts: Sequence[int], displs: Sequence[int], what: str) -> None:
+    if len(counts) != comm.size or len(displs) != comm.size:
+        raise MpiArgumentError(
+            f"{what} counts/displacements must have one entry per rank ({comm.size})"
+        )
+    if any(c < 0 for c in counts) or any(d < 0 for d in displs):
+        raise MpiArgumentError(f"{what} counts and displacements must be non-negative")
+
+
+def alltoallv(
+    comm,
+    sendbuf,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+) -> None:
+    """Exchange byte ranges with every rank (``MPI_Alltoallv``).
+
+    Counts and displacements are in bytes; this matches the halo-exchange
+    implementation the paper describes, which packs every halo into one byte
+    buffer and exchanges it with a single all-to-all-v.
+    """
+    from repro.mpi.communicator import as_buffer
+
+    _validate_vector_args(comm, sendcounts, senddispls, "send")
+    _validate_vector_args(comm, recvcounts, recvdispls, "recv")
+    send = as_buffer(sendbuf)
+    recv = as_buffer(recvbuf)
+    tag = _next_collective_tag(comm)
+    now = comm.clock.now
+
+    # Post every outgoing section.
+    for peer in range(comm.size):
+        count = int(sendcounts[peer])
+        if count == 0 or peer == comm.rank:
+            continue
+        offset = int(senddispls[peer])
+        if offset + count > send.nbytes:
+            raise MpiArgumentError("send section escapes the send buffer")
+        _post_raw(comm, peer, tag, send.data[offset : offset + count].copy(), now)
+
+    # Local section copies directly.
+    local = int(sendcounts[comm.rank])
+    if local:
+        src = int(senddispls[comm.rank])
+        dst = int(recvdispls[comm.rank])
+        if local != int(recvcounts[comm.rank]):
+            raise MpiArgumentError("self send/recv counts disagree")
+        recv.data[dst : dst + local] = send.data[src : src + local]
+
+    # Receive every incoming section.
+    latest = now
+    for peer in range(comm.size):
+        count = int(recvcounts[peer])
+        if count == 0 or peer == comm.rank:
+            continue
+        envelope = _receive_raw(comm, peer, tag)
+        offset = int(recvdispls[envelope.source])
+        expected = int(recvcounts[envelope.source])
+        if envelope.nbytes != expected:
+            raise MpiArgumentError(
+                f"rank {comm.rank} expected {expected} bytes from {envelope.source}, "
+                f"got {envelope.nbytes}"
+            )
+        if offset + envelope.nbytes > recv.nbytes:
+            raise MpiArgumentError("receive section escapes the receive buffer")
+        recv.data[offset : offset + envelope.nbytes] = envelope.payload
+        latest = max(latest, envelope.available_at)
+
+    # Charge the analytic per-rank cost once.
+    comm.clock.advance_to(latest)
+    per_pair = [max(int(s), int(r)) for s, r in zip(sendcounts, recvcounts)]
+    device = send.is_device or recv.is_device
+    comm.clock.advance(
+        comm.network.alltoallv_time(per_pair, comm.topology, comm.rank, device_buffers=device)
+    )
+
+
+def neighbor_alltoallv(
+    comm,
+    neighbors: Sequence[int],
+    sendbuf,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+) -> None:
+    """``MPI_Neighbor_alltoallv`` over an explicit neighbour list.
+
+    Equivalent to an :func:`alltoallv` whose counts are zero for every rank
+    not in ``neighbors``; implemented exactly that way so the two share
+    semantics and cost accounting.
+    """
+    if not (len(neighbors) == len(sendcounts) == len(senddispls) == len(recvcounts) == len(recvdispls)):
+        raise MpiArgumentError("neighbour argument lists must have equal lengths")
+    if len(set(neighbors)) != len(neighbors):
+        raise MpiArgumentError(
+            "neighbour list contains duplicates; aggregate per-destination sections "
+            "and use Alltoallv instead (as the halo-exchange application does)"
+        )
+    full_sendcounts = [0] * comm.size
+    full_senddispls = [0] * comm.size
+    full_recvcounts = [0] * comm.size
+    full_recvdispls = [0] * comm.size
+    for index, peer in enumerate(neighbors):
+        if not 0 <= peer < comm.size:
+            raise MpiArgumentError(f"neighbour {peer} outside communicator of size {comm.size}")
+        full_sendcounts[peer] = int(sendcounts[index])
+        full_senddispls[peer] = int(senddispls[index])
+        full_recvcounts[peer] = int(recvcounts[index])
+        full_recvdispls[peer] = int(recvdispls[index])
+    alltoallv(
+        comm,
+        sendbuf,
+        full_sendcounts,
+        full_senddispls,
+        recvbuf,
+        full_recvcounts,
+        full_recvdispls,
+    )

@@ -1,0 +1,390 @@
+"""Communicators: the MPI call surface each rank sees.
+
+A :class:`Communicator` binds together one rank's virtual clock, its simulated
+GPU runtime, the world's message router and the machine's network model, and
+exposes the MPI operations the paper's applications use, with mpi4py-style
+capitalised names (``Send``, ``Recv``, ``Pack`` …).
+
+Buffer arguments follow the mpi4py convention: a buffer-like object alone
+(treated as bytes), or a 2-tuple ``(buffer, datatype)``, or a 3-tuple
+``(buffer, count, datatype)``.  Buffers are :class:`repro.gpu.memory.Buffer`
+objects (device or host) or NumPy arrays (treated as pageable host memory).
+
+Datatype handling is the *baseline* path here — one ``cudaMemcpyAsync`` per
+contiguous block — because this class plays the role of the system MPI
+(Spectrum MPI on Summit).  TEMPI's interposer wraps this class and replaces
+exactly the calls the paper's library replaces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.gpu.memory import Buffer, HostBuffer, MemoryKind
+from repro.gpu.runtime import CudaRuntime
+from repro.machine.network import NetworkModel
+from repro.machine.topology import Topology
+from repro.mpi import collectives as _collectives
+from repro.mpi import typemap
+from repro.mpi.baseline import BaselineDatatypeEngine
+from repro.mpi.datatype import BYTE, Datatype
+from repro.mpi.errors import MpiArgumentError, MpiRankError, MpiTruncationError
+from repro.mpi.p2p import Envelope, MessageRouter
+from repro.mpi.request import Request
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+
+#: Things accepted as the buffer part of a message specification.
+BufferLike = Union[Buffer, np.ndarray]
+BufferSpec = Union[BufferLike, tuple]
+
+
+def as_buffer(obj: BufferLike) -> Buffer:
+    """Coerce a NumPy array into a (shared-memory) host buffer."""
+    if isinstance(obj, Buffer):
+        return obj
+    if isinstance(obj, np.ndarray):
+        flat = obj.reshape(-1).view(np.uint8)
+        return HostBuffer(flat.nbytes, MemoryKind.HOST_PAGEABLE, _array=flat)
+    raise MpiArgumentError(f"expected a Buffer or ndarray, got {type(obj).__name__}")
+
+
+class Communicator:
+    """One rank's endpoint of a simulated MPI world."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        router: MessageRouter,
+        runtime: CudaRuntime,
+        network: NetworkModel,
+        topology: Topology,
+        *,
+        context: int = 0,
+        world=None,
+    ) -> None:
+        if not 0 <= rank < size:
+            raise MpiRankError(f"rank {rank} outside communicator of size {size}")
+        self.rank = rank
+        self.size = size
+        self.router = router
+        self.gpu = runtime
+        self.network = network
+        self.topology = topology
+        self.context = context
+        self.world = world
+        self.baseline = BaselineDatatypeEngine(runtime)
+        self._ndups = 0
+
+    # ------------------------------------------------------------------ intro
+    def Get_rank(self) -> int:
+        """``MPI_Comm_rank``."""
+        return self.rank
+
+    def Get_size(self) -> int:
+        """``MPI_Comm_size``."""
+        return self.size
+
+    @property
+    def clock(self):
+        """This rank's virtual clock (shared with its GPU runtime)."""
+        return self.gpu.clock
+
+    def Dup(self) -> "Communicator":
+        """``MPI_Comm_dup``: same group, fresh context id.
+
+        The new context id is derived deterministically from the parent's so
+        that every rank calling ``Dup`` collectively (as MPI requires) agrees
+        on it without central coordination.
+        """
+        self._ndups += 1
+        return Communicator(
+            self.rank,
+            self.size,
+            self.router,
+            self.gpu,
+            self.network,
+            self.topology,
+            context=self.context * 1009 + self._ndups,
+            world=self.world,
+        )
+
+    # --------------------------------------------------------------- resolve
+    def _resolve(self, spec: BufferSpec) -> tuple[Buffer, int, Datatype]:
+        """Normalise a message specification to ``(buffer, count, datatype)``."""
+        if isinstance(spec, (Buffer, np.ndarray)):
+            buffer = as_buffer(spec)
+            return buffer, buffer.nbytes, BYTE
+        if isinstance(spec, (tuple, list)):
+            if len(spec) == 2:
+                buffer, datatype = spec
+                buffer = as_buffer(buffer)
+                if not isinstance(datatype, Datatype):
+                    raise MpiArgumentError("second element of a 2-tuple spec must be a Datatype")
+                if datatype.extent == 0:
+                    raise MpiArgumentError("cannot infer a count for a zero-extent datatype")
+                count = buffer.nbytes // datatype.extent
+                if count == 0:
+                    raise MpiArgumentError(
+                        f"buffer of {buffer.nbytes} bytes holds no element of extent {datatype.extent}"
+                    )
+                return buffer, count, datatype
+            if len(spec) == 3:
+                buffer, count, datatype = spec
+                buffer = as_buffer(buffer)
+                if not isinstance(datatype, Datatype):
+                    raise MpiArgumentError("third element of a 3-tuple spec must be a Datatype")
+                if count <= 0:
+                    raise MpiArgumentError(f"count must be positive, got {count}")
+                return buffer, int(count), datatype
+        raise MpiArgumentError(f"cannot interpret message specification {spec!r}")
+
+    def _check_peer(self, peer: int, *, allow_any: bool = False) -> None:
+        if allow_any and peer == ANY_SOURCE:
+            return
+        if not 0 <= peer < self.size:
+            raise MpiRankError(f"peer rank {peer} outside communicator of size {self.size}")
+
+    # ----------------------------------------------------------- p2p internals
+    def _prepare_payload(
+        self, buffer: Buffer, count: int, datatype: Datatype
+    ) -> tuple[np.ndarray, bool]:
+        """Produce the contiguous wire payload for a send.
+
+        Contiguous datatypes ship straight from the user buffer; derived
+        datatypes go through the baseline engine into a host staging buffer,
+        which is exactly the per-block path the paper measures.
+        """
+        datatype._check_committed()
+        nbytes = typemap.packed_size(datatype, count)
+        if datatype.is_contiguous_bytes:
+            if nbytes > buffer.nbytes:
+                raise MpiArgumentError(
+                    f"sending {nbytes} bytes from a {buffer.nbytes}-byte buffer"
+                )
+            return buffer.data[:nbytes].copy(), buffer.is_device
+        staging = HostBuffer(nbytes, MemoryKind.HOST_PINNED)
+        self.baseline.pack(buffer, datatype, count, staging)
+        return staging.data, False
+
+    def _deliver_payload(
+        self, envelope: Envelope, buffer: Buffer, count: int, datatype: Datatype
+    ) -> int:
+        """Copy a received payload into the user buffer; returns bytes received."""
+        datatype._check_committed()
+        capacity = typemap.packed_size(datatype, count)
+        if envelope.nbytes > capacity:
+            raise MpiTruncationError(
+                f"message of {envelope.nbytes} bytes truncates a receive of {capacity} bytes"
+            )
+        if datatype.is_contiguous_bytes:
+            buffer.data[: envelope.nbytes] = envelope.payload[: envelope.nbytes]
+        else:
+            staging = HostBuffer(envelope.nbytes, MemoryKind.HOST_PINNED, _array=envelope.payload)
+            elements = envelope.nbytes // datatype.size if datatype.size else 0
+            if elements:
+                self.baseline.unpack(staging, 0, buffer, datatype, elements)
+        return envelope.nbytes
+
+    def _message_time(self, nbytes: int, peer: int, device: bool) -> float:
+        same_node = self.topology.same_node(self.rank, peer) if self.topology else True
+        return self.network.message_time(nbytes, same_node=same_node, device_buffers=device)
+
+    # ------------------------------------------------------------------ sends
+    def Send(self, spec: BufferSpec, dest: int, tag: int = 0) -> None:
+        """Blocking standard-mode send (``MPI_Send``)."""
+        self._check_peer(dest)
+        buffer, count, datatype = self._resolve(spec)
+        payload, device = self._prepare_payload(buffer, count, datatype)
+        duration = self._message_time(payload.nbytes, dest, device)
+        self.clock.advance(duration)
+        self.router.post(
+            Envelope(
+                source=self.rank,
+                dest=dest,
+                tag=tag,
+                context=self.context,
+                payload=payload,
+                available_at=self.clock.now,
+                device=device,
+            )
+        )
+
+    def Isend(self, spec: BufferSpec, dest: int, tag: int = 0) -> Request:
+        """Nonblocking send (``MPI_Isend``)."""
+        self._check_peer(dest)
+        buffer, count, datatype = self._resolve(spec)
+        payload, device = self._prepare_payload(buffer, count, datatype)
+        duration = self._message_time(payload.nbytes, dest, device)
+        available = self.clock.now + duration
+        self.router.post(
+            Envelope(
+                source=self.rank,
+                dest=dest,
+                tag=tag,
+                context=self.context,
+                payload=payload,
+                available_at=available,
+                device=device,
+            )
+        )
+        # The send buffer is reusable once the payload is captured; charge the
+        # injection overhead only.
+        injection = self.network.message_cost(0, same_node=True, device_buffers=False).latency_s
+        return Request("send", completion_time=self.clock.now + injection, clock=self.clock)
+
+    # ----------------------------------------------------------------- receives
+    def Recv(
+        self,
+        spec: BufferSpec,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Status:
+        """Blocking receive (``MPI_Recv``)."""
+        self._check_peer(source, allow_any=True)
+        buffer, count, datatype = self._resolve(spec)
+        envelope = self.router.receive(self.rank, source, tag, self.context)
+        self.clock.advance_to(envelope.available_at)
+        nbytes = self._deliver_payload(envelope, buffer, count, datatype)
+        result = status if status is not None else Status()
+        result.source = envelope.source
+        result.tag = envelope.tag
+        result.count_bytes = nbytes
+        return result
+
+    def Irecv(
+        self,
+        spec: BufferSpec,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+    ) -> Request:
+        """Nonblocking receive (``MPI_Irecv``); matching happens at ``Wait``."""
+        self._check_peer(source, allow_any=True)
+
+        def complete() -> Status:
+            return self.Recv(spec, source, tag)
+
+        return Request("recv", complete=complete)
+
+    def Sendrecv(
+        self,
+        send_spec: BufferSpec,
+        dest: int,
+        sendtag: int,
+        recv_spec: BufferSpec,
+        source: int,
+        recvtag: int,
+        status: Optional[Status] = None,
+    ) -> Status:
+        """Combined send and receive (``MPI_Sendrecv``), deadlock-free."""
+        request = self.Isend(send_spec, dest, sendtag)
+        result = self.Recv(recv_spec, source, recvtag, status)
+        request.Wait()
+        return result
+
+    def Probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Nonblocking probe: status of a pending matching message, or None."""
+        envelope = self.router.probe(self.rank, source, tag, self.context)
+        if envelope is None:
+            return None
+        return Status(source=envelope.source, tag=envelope.tag, count_bytes=envelope.nbytes)
+
+    # ------------------------------------------------------------------- pack
+    def Pack(
+        self,
+        in_spec: BufferSpec,
+        outbuf: BufferLike,
+        position: int = 0,
+    ) -> int:
+        """``MPI_Pack`` with the system MPI's per-block baseline engine.
+
+        Returns the updated position.
+        """
+        buffer, count, datatype = self._resolve(in_spec)
+        out = as_buffer(outbuf)
+        if datatype.is_contiguous_bytes:
+            nbytes = typemap.packed_size(datatype, count)
+            self.gpu.memcpy_async(out, buffer, nbytes, dst_offset=position)
+            self.gpu.stream_synchronize()
+            return position + nbytes
+        return self.baseline.pack(buffer, datatype, count, out, position)
+
+    def Unpack(
+        self,
+        inbuf: BufferLike,
+        position: int,
+        out_spec: BufferSpec,
+    ) -> int:
+        """``MPI_Unpack`` with the baseline engine; returns the updated position."""
+        buffer, count, datatype = self._resolve(out_spec)
+        source = as_buffer(inbuf)
+        if datatype.is_contiguous_bytes:
+            nbytes = typemap.packed_size(datatype, count)
+            self.gpu.memcpy_async(buffer, source, nbytes, src_offset=position)
+            self.gpu.stream_synchronize()
+            return position + nbytes
+        return self.baseline.unpack(source, position, buffer, datatype, count)
+
+    def Pack_size(self, count: int, datatype: Datatype) -> int:
+        """``MPI_Pack_size``: bytes needed to pack ``count`` elements."""
+        return typemap.packed_size(datatype, count)
+
+    def Type_commit(self, datatype: Datatype) -> Datatype:
+        """``MPI_Type_commit`` as the system MPI performs it (no acceleration).
+
+        Exposed on the communicator so that applications written against the
+        interposed surface run unmodified against the plain system MPI.
+        """
+        return datatype.Commit()
+
+    # ------------------------------------------------------------- collectives
+    def Barrier(self) -> None:
+        """``MPI_Barrier``."""
+        _collectives.barrier(self)
+
+    def Bcast(self, spec: BufferSpec, root: int = 0) -> None:
+        """``MPI_Bcast``."""
+        _collectives.bcast(self, spec, root)
+
+    def Allreduce_scalar(self, value: float, op: str = "sum") -> float:
+        """Allreduce of one Python scalar (sum/max/min)."""
+        return _collectives.allreduce_scalar(self, value, op)
+
+    def Allgather_object(self, value) -> list:
+        """Allgather of one picklable Python object per rank."""
+        return _collectives.allgather_object(self, value)
+
+    def Alltoallv(
+        self,
+        sendbuf: BufferLike,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf: BufferLike,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+    ) -> None:
+        """``MPI_Alltoallv`` on byte buffers."""
+        _collectives.alltoallv(
+            self, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
+        )
+
+    def Neighbor_alltoallv(
+        self,
+        neighbors: Sequence[int],
+        sendbuf: BufferLike,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf: BufferLike,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+    ) -> None:
+        """``MPI_Neighbor_alltoallv`` over an explicit neighbour list."""
+        _collectives.neighbor_alltoallv(
+            self, neighbors, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Communicator rank {self.rank}/{self.size} ctx={self.context}>"

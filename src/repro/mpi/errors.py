@@ -1,0 +1,31 @@
+"""MPI error hierarchy.
+
+Real MPI reports errors through return codes (and usually aborts); the
+simulation raises exceptions so tests can assert on the precise failure.
+"""
+
+from __future__ import annotations
+
+
+class MpiError(RuntimeError):
+    """Base class of every error raised by the simulated MPI."""
+
+
+class MpiTypeError(MpiError, ValueError):
+    """A datatype argument was invalid (``MPI_ERR_TYPE``)."""
+
+
+class MpiArgumentError(MpiError, ValueError):
+    """A count, rank, tag or buffer argument was invalid (``MPI_ERR_ARG``)."""
+
+
+class MpiTruncationError(MpiError):
+    """A receive buffer was too small for the matched message (``MPI_ERR_TRUNCATE``)."""
+
+
+class MpiRankError(MpiArgumentError):
+    """A rank was outside the communicator (``MPI_ERR_RANK``)."""
+
+
+class MpiCommError(MpiError):
+    """The communicator or world was used after shutdown."""

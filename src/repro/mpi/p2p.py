@@ -1,0 +1,134 @@
+"""Point-to-point message transport.
+
+The :class:`MessageRouter` is the shared mailbox of one :class:`~repro.mpi.world.World`:
+sending ranks post :class:`Envelope` objects, receiving ranks block until a
+matching one arrives.  Matching follows MPI rules — ``(source, tag,
+communicator)`` with wildcards, FIFO per (source, communicator) pair — and
+every envelope carries the *virtual* time at which its payload becomes
+available at the destination, so receivers can advance their clocks
+consistently regardless of the wall-clock interleaving of the rank threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.mpi.errors import MpiCommError
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+
+
+@dataclass
+class Envelope:
+    """One in-flight message."""
+
+    source: int
+    dest: int
+    tag: int
+    context: int
+    payload: np.ndarray
+    available_at: float
+    device: bool
+    sequence: int = field(default=0)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.payload.nbytes)
+
+
+class MessageRouter:
+    """Thread-safe mailbox shared by all ranks of a world."""
+
+    def __init__(self, nranks: int) -> None:
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = nranks
+        self._mailboxes: dict[int, list[Envelope]] = {rank: [] for rank in range(nranks)}
+        self._condition = threading.Condition()
+        self._sequence = itertools.count()
+        self._shutdown = False
+        self.messages_posted = 0
+
+    # ------------------------------------------------------------------- post
+    def post(self, envelope: Envelope) -> None:
+        """Deliver an envelope to the destination mailbox and wake receivers."""
+        if not (0 <= envelope.dest < self.nranks):
+            raise MpiCommError(f"destination rank {envelope.dest} outside world of {self.nranks}")
+        with self._condition:
+            if self._shutdown:
+                raise MpiCommError("message posted after world shutdown")
+            envelope.sequence = next(self._sequence)
+            self._mailboxes[envelope.dest].append(envelope)
+            self.messages_posted += 1
+            self._condition.notify_all()
+
+    # ------------------------------------------------------------------ match
+    @staticmethod
+    def _matches(envelope: Envelope, source: int, tag: int, context: int) -> bool:
+        if envelope.context != context:
+            return False
+        if source != ANY_SOURCE and envelope.source != source:
+            return False
+        if tag != ANY_TAG and envelope.tag != tag:
+            return False
+        return True
+
+    def _find(self, rank: int, source: int, tag: int, context: int) -> Optional[Envelope]:
+        mailbox = self._mailboxes[rank]
+        best: Optional[Envelope] = None
+        for envelope in mailbox:
+            if self._matches(envelope, source, tag, context):
+                if best is None or envelope.sequence < best.sequence:
+                    best = envelope
+        return best
+
+    def receive(
+        self,
+        rank: int,
+        source: int,
+        tag: int,
+        context: int,
+        *,
+        timeout: Optional[float] = 120.0,
+    ) -> Envelope:
+        """Block until a matching envelope is available; remove and return it.
+
+        ``timeout`` bounds the *wall-clock* wait so that a mismatched test
+        hangs for two minutes at most instead of forever.
+        """
+        if not (0 <= rank < self.nranks):
+            raise MpiCommError(f"rank {rank} outside world of {self.nranks}")
+        with self._condition:
+            while True:
+                envelope = self._find(rank, source, tag, context)
+                if envelope is not None:
+                    self._mailboxes[rank].remove(envelope)
+                    return envelope
+                if self._shutdown:
+                    raise MpiCommError("receive after world shutdown")
+                if not self._condition.wait(timeout=timeout):
+                    raise MpiCommError(
+                        f"rank {rank} timed out waiting for a message from source={source} "
+                        f"tag={tag} context={context}"
+                    )
+
+    def probe(self, rank: int, source: int, tag: int, context: int) -> Optional[Envelope]:
+        """Nonblocking check for a matching envelope (not removed)."""
+        with self._condition:
+            return self._find(rank, source, tag, context)
+
+    # --------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Wake every waiting receiver with an error (world teardown)."""
+        with self._condition:
+            self._shutdown = True
+            self._condition.notify_all()
+
+    def pending(self, rank: int) -> int:
+        """Number of undelivered envelopes for a rank (used by tests)."""
+        with self._condition:
+            return len(self._mailboxes[rank])

@@ -1,0 +1,97 @@
+"""Nonblocking-communication requests."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.mpi.errors import MpiError
+from repro.mpi.status import Status
+
+
+class Request:
+    """Handle for a nonblocking operation (``MPI_Request``).
+
+    The simulation keeps nonblocking semantics simple and deadlock-free:
+
+    * ``Isend`` performs its local work (datatype packing, posting the
+      envelope) immediately and records the virtual time at which the send
+      buffer may be reused; ``Wait`` advances the caller's clock there.
+    * ``Irecv`` defers matching to ``Wait``/``Test``; because sends never
+      block on a thread level, deferring receives cannot deadlock.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        *,
+        complete: Optional[Callable[[], Status]] = None,
+        completion_time: Optional[float] = None,
+        clock=None,
+    ) -> None:
+        if kind not in ("send", "recv", "null"):
+            raise MpiError(f"unknown request kind {kind!r}")
+        self.kind = kind
+        self._complete = complete
+        self._completion_time = completion_time
+        self._clock = clock
+        self._done = False
+        self._status = Status()
+
+    # ------------------------------------------------------------------ waits
+    def Wait(self) -> Status:
+        """Block until the operation completes; returns its :class:`Status`."""
+        if self._done:
+            return self._status
+        if self._complete is not None:
+            self._status = self._complete()
+        if self._completion_time is not None and self._clock is not None:
+            self._clock.advance_to(self._completion_time)
+        self._done = True
+        return self._status
+
+    def Test(self) -> tuple[bool, Optional[Status]]:
+        """Nonblocking completion check.
+
+        Receives only complete through :meth:`Wait` in this simulation, so
+        ``Test`` reports False for them until ``Wait`` has been called; sends
+        complete as soon as their completion time has passed on the clock.
+        """
+        if self._done:
+            return True, self._status
+        if self.kind == "send" and self._completion_time is not None and self._clock is not None:
+            if self._clock.now >= self._completion_time:
+                self._done = True
+                return True, self._status
+        return False, None
+
+    @property
+    def completed(self) -> bool:
+        """True once :meth:`Wait` (or a successful :meth:`Test`) has run."""
+        return self._done
+
+    # ------------------------------------------------------------- aggregates
+    @staticmethod
+    def Waitall(requests: list["Request"]) -> list[Status]:
+        """Wait for every request; returns their statuses in order."""
+        return [request.Wait() for request in requests]
+
+    @staticmethod
+    def Waitany(requests: list["Request"]) -> tuple[int, Status]:
+        """Wait for (at least) one request; returns ``(index, status)``.
+
+        The simulation completes them in order, which satisfies the MPI
+        contract (any completed request may be returned).
+        """
+        if not requests:
+            raise MpiError("Waitany requires at least one request")
+        for index, request in enumerate(requests):
+            if not request.completed:
+                return index, request.Wait()
+        return 0, requests[0].Wait()
+
+
+#: A request that is already complete (``MPI_REQUEST_NULL`` analogue).
+def null_request() -> Request:
+    request = Request("null")
+    request._done = True  # noqa: SLF001 - factory for the null handle
+    return request

@@ -1,0 +1,35 @@
+"""MPI status objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wildcards accepted by receive operations.
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+
+@dataclass
+class Status:
+    """Completion information of a receive (``MPI_Status``)."""
+
+    source: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    count_bytes: int = 0
+    cancelled: bool = False
+
+    def Get_source(self) -> int:
+        """Rank that sent the matched message."""
+        return self.source
+
+    def Get_tag(self) -> int:
+        """Tag of the matched message."""
+        return self.tag
+
+    def Get_count(self, datatype=None) -> int:
+        """Number of received elements of ``datatype`` (bytes when omitted)."""
+        if datatype is None:
+            return self.count_bytes
+        if datatype.size == 0:
+            return 0
+        return self.count_bytes // datatype.size

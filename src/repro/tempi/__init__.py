@@ -1,0 +1,48 @@
+"""TEMPI: the paper's contribution.
+
+This package implements the three contributions of the paper on top of the
+simulated substrates:
+
+1. **Canonical datatype handling** (Sec. 3): MPI derived datatypes are
+   translated into a small IR (:mod:`repro.tempi.ir`, :mod:`repro.tempi.translate`),
+   canonicalised by four fixed-point transformations
+   (:mod:`repro.tempi.canonicalize`), lowered to a :class:`~repro.tempi.strided_block.StridedBlock`
+   and bound to a parameterised pack kernel (:mod:`repro.tempi.kernels`,
+   :mod:`repro.tempi.packer`).
+2. **Model-driven method selection** (Sec. 4): a measurement sweep
+   (:mod:`repro.tempi.measurement`) feeds an interpolating performance model
+   (:mod:`repro.tempi.perf_model`) that picks between the *one-shot*,
+   *device* and *staged* send methods (:mod:`repro.tempi.methods`).
+3. **The interposer** (Sec. 5): :class:`~repro.tempi.interposer.TempiCommunicator`
+   exports the same call surface as the system MPI
+   (:class:`repro.mpi.communicator.Communicator`), overriding exactly the calls
+   TEMPI accelerates and forwarding everything else.
+"""
+
+from repro.tempi.canonicalize import canonicalize, simplify
+from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.interposer import Tempi, TempiCommunicator
+from repro.tempi.ir import DenseData, StreamData, Type
+from repro.tempi.measurement import SystemMeasurement, measure_system
+from repro.tempi.perf_model import PerformanceModel
+from repro.tempi.strided_block import StridedBlock, to_strided_block
+from repro.tempi.translate import TranslationError, translate
+
+__all__ = [
+    "DenseData",
+    "PackMethod",
+    "PerformanceModel",
+    "StreamData",
+    "StridedBlock",
+    "SystemMeasurement",
+    "Tempi",
+    "TempiCommunicator",
+    "TempiConfig",
+    "TranslationError",
+    "Type",
+    "canonicalize",
+    "measure_system",
+    "simplify",
+    "to_strided_block",
+    "translate",
+]

@@ -1,0 +1,157 @@
+"""Type canonicalisation (Sec. 3.2).
+
+Semantically equivalent MPI datatypes translate to different Type trees; four
+transformations, applied repeatedly until none of them changes the tree,
+reduce them to a canonical form:
+
+``dense_folding``
+    A stream whose stride equals its dense child's extent is a single larger
+    dense run (Alg. 2, Fig. 3).
+``stream_elision``
+    A stream of one element adds no structure and is removed (Alg. 3,
+    Fig. 4).  This implementation also elides a *parent* stream whose own
+    count is one, which makes e.g. ``vector(1, n, 1, T)`` and
+    ``contiguous(n, T)`` canonicalise identically.
+``stream_flatten``
+    Nested streams whose strides chain exactly (parent stride equals child
+    count × child stride) collapse into one longer stream (Alg. 4, Fig. 5).
+``sort_streams``
+    Stream levels are ordered by decreasing stride so that row-of-column and
+    column-of-row constructions agree (Sec. 3.2.4).
+
+All passes preserve the set of bytes the type describes; the property-based
+tests check exactly that invariant against the MPI type map.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.tempi.ir import DenseData, Type
+
+#: Safety bound on the fixed-point iteration; in practice a handful of passes
+#: suffice (each pass strictly reduces depth or orders the chain).
+MAX_PASSES = 64
+
+
+# --------------------------------------------------------------------------- #
+# Individual passes.  Each returns (possibly new root, changed flag).
+# --------------------------------------------------------------------------- #
+
+def dense_folding(node: Type) -> Tuple[Type, bool]:
+    """Fold ``Stream -> Dense`` pairs whose stride equals the dense extent."""
+    changed = False
+    if node.child is not None:
+        node.child, child_changed = dense_folding(node.child)
+        changed = changed or child_changed
+    if node.is_stream and node.child is not None and node.child.is_dense:
+        stream = node.data
+        dense_child = node.child.data
+        if dense_child.extent == stream.stride:
+            folded = DenseData(
+                offset=stream.offset + dense_child.offset,
+                extent=stream.count * stream.stride,
+            )
+            return Type(folded), True
+    return node, changed
+
+
+def stream_elision(node: Type) -> Tuple[Type, bool]:
+    """Remove streams of a single element (child streams and unit parents)."""
+    changed = False
+    if node.child is not None:
+        node.child, child_changed = stream_elision(node.child)
+        changed = changed or child_changed
+    # Child stream of count 1: splice it out, keeping its offset.
+    if (
+        node.is_stream
+        and node.child is not None
+        and node.child.is_stream
+        and node.child.data.count == 1
+    ):
+        child = node.child
+        node.data.offset += 0  # parent offset unchanged; child's moves down
+        grandchild = child.child
+        assert grandchild is not None
+        grandchild.data.offset += child.data.offset
+        node.child = grandchild
+        changed = True
+    # This level itself is a stream of one element: it adds no structure.
+    if node.is_stream and node.data.count == 1 and node.child is not None:
+        child = node.child
+        child.data.offset += node.data.offset
+        return child, True
+    return node, changed
+
+
+def stream_flatten(node: Type) -> Tuple[Type, bool]:
+    """Merge nested streams whose strides chain exactly."""
+    changed = False
+    if node.child is not None:
+        node.child, child_changed = stream_flatten(node.child)
+        changed = changed or child_changed
+    if (
+        node.is_stream
+        and node.child is not None
+        and node.child.is_stream
+        and node.data.stride == node.child.data.count * node.child.data.stride
+    ):
+        child = node.child
+        node.data.count *= child.data.count
+        node.data.stride = child.data.stride
+        node.data.offset += child.data.offset
+        node.child = child.child
+        changed = True
+    return node, changed
+
+
+def sort_streams(node: Type) -> Tuple[Type, bool]:
+    """Order stream levels by decreasing stride (largest stride at the top)."""
+    levels = list(node.levels())
+    if len(levels) < 3:  # a single stream over a leaf cannot be out of order
+        return node, False
+    leaf = levels[-1]
+    streams = levels[:-1]
+    if not all(level.is_stream for level in streams):
+        return node, False
+    original = [id(level) for level in streams]
+    ordered = sorted(streams, key=lambda level: level.data.stride, reverse=True)
+    if [id(level) for level in ordered] == original:
+        return node, False
+    # Rebuild the chain top-down over the same leaf.
+    for upper, lower in zip(ordered, ordered[1:]):
+        upper.child = lower
+    ordered[-1].child = leaf
+    return ordered[0], True
+
+
+# --------------------------------------------------------------------------- #
+# Fixed point
+# --------------------------------------------------------------------------- #
+
+def simplify(ty: Type) -> Type:
+    """Apply the four transformations until none changes the tree (Alg. 1).
+
+    The input is not modified; a canonicalised clone is returned.
+    """
+    node = ty.clone()
+    for _ in range(MAX_PASSES):
+        changed = False
+        node, step = dense_folding(node)
+        changed = changed or step
+        node, step = stream_elision(node)
+        changed = changed or step
+        node, step = stream_flatten(node)
+        changed = changed or step
+        node, step = sort_streams(node)
+        changed = changed or step
+        if not changed:
+            break
+    else:  # pragma: no cover - defensive: the passes always reach a fixed point
+        raise RuntimeError("canonicalisation did not converge")
+    node.validate()
+    return node
+
+
+#: Alias used throughout the package and the paper's terminology.
+canonicalize = simplify

@@ -1,0 +1,327 @@
+"""The interposer (Sec. 5).
+
+On a real system TEMPI is a shared library inserted ahead of the system MPI
+in the link order (or via ``LD_PRELOAD``): it exports a *partial* MPI
+implementation, so the dynamic linker resolves the overridden symbols to
+TEMPI and everything else to the system MPI.  The reproduction mirrors that
+structure with plain object composition:
+
+* :class:`TempiCommunicator` exposes the same call surface as
+  :class:`repro.mpi.communicator.Communicator`;
+* the calls TEMPI accelerates (``Type_commit``, ``Pack``, ``Unpack``,
+  ``Send``, ``Recv``) are overridden here;
+* every other attribute falls through to the underlying communicator via
+  ``__getattr__`` — the analogue of unresolved symbols binding to the system
+  MPI.
+
+Applications written against the system MPI therefore run unmodified against
+either object, which is how the examples and benchmarks switch between the
+baseline and TEMPI.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.gpu.memory import Buffer
+from repro.mpi.communicator import Communicator, as_buffer
+from repro.mpi.datatype import Datatype
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.tempi import methods
+from repro.tempi.cache import ResourceCache
+from repro.tempi.canonicalize import simplify
+from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.measurement import SystemMeasurement, measure_system
+from repro.tempi.packer import Packer
+from repro.tempi.perf_model import PerformanceModel
+from repro.tempi.strided_block import to_strided_block
+from repro.tempi.translate import TranslationError, translate
+
+#: Performance models are expensive to build (a full measurement sweep), so
+#: they are shared per machine across every rank of a world.
+_MODEL_LOCK = threading.Lock()
+_MODEL_CACHE: dict[str, PerformanceModel] = {}
+
+
+def default_model(machine) -> PerformanceModel:
+    """The lazily measured, process-wide performance model for a machine."""
+    key = machine.name
+    with _MODEL_LOCK:
+        model = _MODEL_CACHE.get(key)
+        if model is None:
+            model = PerformanceModel(measure_system(machine))
+            _MODEL_CACHE[key] = model
+        return model
+
+
+@dataclass
+class TypeHandler:
+    """What TEMPI attaches to a datatype at commit time."""
+
+    packer: Optional[Packer]
+    #: Why there is no packer, when there is none (fallback reporting).
+    fallback_reason: Optional[str] = None
+    #: Wall-clock seconds spent in translation/canonicalisation/kernel
+    #: selection (the "commit" overhead of Fig. 7).
+    commit_seconds: float = 0.0
+    uses: int = 0
+
+    @property
+    def accelerated(self) -> bool:
+        return self.packer is not None
+
+
+@dataclass
+class InterposerStats:
+    """Counters for tests and the ablation benchmarks."""
+
+    commits: int = 0
+    accelerated_commits: int = 0
+    packs: int = 0
+    sends: int = 0
+    recvs: int = 0
+    fallbacks: int = 0
+    method_counts: dict = field(default_factory=dict)
+
+
+class Tempi:
+    """Per-rank library state shared by all interposed communicators."""
+
+    def __init__(
+        self,
+        runtime,
+        machine,
+        config: TempiConfig = TempiConfig(),
+        model: Optional[PerformanceModel] = None,
+    ) -> None:
+        self.config = config
+        self.cache = ResourceCache(runtime, enabled=config.use_cache)
+        self.stats = InterposerStats()
+        self._machine = machine
+        self._model = model
+
+    @property
+    def model(self) -> PerformanceModel:
+        """The performance model (lazily measured or loaded)."""
+        if self._model is None:
+            if self.config.measurement_path is not None:
+                measurement = SystemMeasurement.load(self.config.measurement_path)
+                self._model = PerformanceModel(measurement)
+            else:
+                self._model = default_model(self._machine)
+        return self._model
+
+
+class TempiCommunicator:
+    """The interposed MPI surface for one rank."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        config: TempiConfig = TempiConfig(),
+        *,
+        library: Optional[Tempi] = None,
+        model: Optional[PerformanceModel] = None,
+    ) -> None:
+        self._comm = comm
+        self.config = config
+        self.tempi = library if library is not None else Tempi(
+            comm.gpu, comm.network.machine, config, model
+        )
+
+    # ------------------------------------------------------------ passthrough
+    def __getattr__(self, name: str):
+        # Anything TEMPI does not override resolves in the "system MPI",
+        # exactly like unresolved symbols at link time.
+        return getattr(self._comm, name)
+
+    @property
+    def system(self) -> Communicator:
+        """The underlying system MPI communicator."""
+        return self._comm
+
+    @property
+    def stats(self) -> InterposerStats:
+        return self.tempi.stats
+
+    # ----------------------------------------------------------------- commit
+    def Type_commit(self, datatype: Datatype) -> Datatype:
+        """``MPI_Type_commit`` with TEMPI's translation pipeline attached.
+
+        The system MPI's commit is always performed; when interposition is
+        enabled the datatype is additionally translated, canonicalised and
+        bound to a packer, and the handler is cached on the datatype for
+        every later communication call (Sec. 3).
+        """
+        datatype.Commit()
+        self.tempi.stats.commits += 1
+        if not (self.config.enabled and self.config.datatype_handling):
+            return datatype
+        started = time.perf_counter()
+        handler = self._build_handler(datatype)
+        handler.commit_seconds = time.perf_counter() - started
+        datatype.attachment = handler
+        if handler.accelerated:
+            self.tempi.stats.accelerated_commits += 1
+        return datatype
+
+    def _build_handler(self, datatype: Datatype) -> TypeHandler:
+        try:
+            ir = translate(datatype)
+        except TranslationError as exc:
+            return TypeHandler(packer=None, fallback_reason=str(exc))
+        canonical = simplify(ir)
+        block = to_strided_block(canonical)
+        if block is None:
+            return TypeHandler(packer=None, fallback_reason="not a strided block")
+        packer = Packer(block, object_extent=datatype.extent, properties=self._comm.gpu.device.properties)
+        return TypeHandler(packer=packer)
+
+    @staticmethod
+    def handler_of(datatype: Datatype) -> Optional[TypeHandler]:
+        """The TEMPI handler attached at commit time, if any."""
+        attachment = datatype.attachment
+        return attachment if isinstance(attachment, TypeHandler) else None
+
+    # ------------------------------------------------------------- accounting
+    def _charge_interposition_overhead(self) -> None:
+        cfg = self.config
+        self._comm.clock.advance(cfg.handler_lookup_s + cfg.pointer_check_s)
+
+    def _select_method(self, packer: Packer, nbytes: int) -> PackMethod:
+        cfg = self.config
+        if cfg.method is not PackMethod.AUTO:
+            return cfg.method
+        model = self.tempi.model
+        hits_before = self.tempi.cache.stats.query_hits
+        method = self.tempi.cache.memoize(
+            ("method", nbytes, packer.block.block_length),
+            lambda: model.choose_method(nbytes, packer.block.block_length),
+        )
+        cached = self.tempi.cache.stats.query_hits > hits_before
+        self._comm.clock.advance(
+            cfg.model_cached_query_s if cached else cfg.model_query_s
+        )
+        return method  # type: ignore[return-value]
+
+    def _can_accelerate(self, datatype: Datatype, *buffers: Buffer) -> Optional[TypeHandler]:
+        if not self.config.enabled:
+            return None
+        handler = self.handler_of(datatype)
+        if handler is None or not handler.accelerated:
+            if handler is not None:
+                self.tempi.stats.fallbacks += 1
+            return None
+        if not all(buffer.is_device for buffer in buffers):
+            return None
+        return handler
+
+    # -------------------------------------------------------------------- pack
+    def Pack(self, in_spec, outbuf, position: int = 0) -> int:
+        """``MPI_Pack``: one kernel launch instead of one memcpy per block."""
+        buffer, count, datatype = self._comm._resolve(in_spec)
+        out = as_buffer(outbuf)
+        handler = (
+            self._can_accelerate(datatype, buffer, out)
+            if self.config.datatype_handling
+            else None
+        )
+        if handler is None:
+            return self._comm.Pack(in_spec, outbuf, position)
+        self._charge_interposition_overhead()
+        handler.uses += 1
+        self.tempi.stats.packs += 1
+        return methods.pack_to_user_buffer(self._comm, handler.packer, buffer, count, out, position)
+
+    def Unpack(self, inbuf, position: int, out_spec) -> int:
+        """``MPI_Unpack`` accelerated symmetrically to :meth:`Pack`."""
+        buffer, count, datatype = self._comm._resolve(out_spec)
+        source = as_buffer(inbuf)
+        handler = (
+            self._can_accelerate(datatype, buffer, source)
+            if self.config.datatype_handling
+            else None
+        )
+        if handler is None:
+            return self._comm.Unpack(inbuf, position, out_spec)
+        self._charge_interposition_overhead()
+        handler.uses += 1
+        self.tempi.stats.packs += 1
+        return methods.unpack_from_user_buffer(
+            self._comm, handler.packer, source, position, buffer, count
+        )
+
+    # -------------------------------------------------------------------- send
+    def Send(self, spec, dest: int, tag: int = 0) -> None:
+        """``MPI_Send`` with datatype acceleration and method selection."""
+        buffer, count, datatype = self._comm._resolve(spec)
+        handler = (
+            self._can_accelerate(datatype, buffer)
+            if self.config.send_handling
+            else None
+        )
+        if handler is None or handler.packer.block.is_contiguous:
+            self._comm.Send(spec, dest, tag)
+            return
+        self._charge_interposition_overhead()
+        nbytes = handler.packer.packed_size(count)
+        method = self._select_method(handler.packer, nbytes)
+        self.tempi.stats.sends += 1
+        self.tempi.stats.method_counts[method.value] = (
+            self.tempi.stats.method_counts.get(method.value, 0) + 1
+        )
+        handler.uses += 1
+        methods.send_packed(
+            self._comm, self.tempi.cache, handler.packer, method, buffer, count, dest, tag
+        )
+
+    def Recv(
+        self,
+        spec,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Status:
+        """``MPI_Recv`` with datatype acceleration and method selection."""
+        buffer, count, datatype = self._comm._resolve(spec)
+        handler = (
+            self._can_accelerate(datatype, buffer)
+            if self.config.send_handling
+            else None
+        )
+        if handler is None or handler.packer.block.is_contiguous:
+            return self._comm.Recv(spec, source, tag, status)
+        self._charge_interposition_overhead()
+        nbytes = handler.packer.packed_size(count)
+        method = self._select_method(handler.packer, nbytes)
+        self.tempi.stats.recvs += 1
+        self.tempi.stats.method_counts[method.value] = (
+            self.tempi.stats.method_counts.get(method.value, 0) + 1
+        )
+        handler.uses += 1
+        return methods.recv_packed(
+            self._comm,
+            self.tempi.cache,
+            handler.packer,
+            method,
+            buffer,
+            count,
+            source,
+            tag,
+            status,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TempiCommunicator over {self._comm!r} method={self.config.method.value}>"
+
+
+def interpose(ctx, config: TempiConfig = TempiConfig(), **kwargs) -> TempiCommunicator:
+    """Wrap a :class:`~repro.mpi.world.ProcessContext`'s communicator with TEMPI.
+
+    This is the one-liner applications use instead of changing their code:
+    the returned object is a drop-in replacement for ``ctx.comm``.
+    """
+    return TempiCommunicator(ctx.comm, config, **kwargs)

@@ -1,0 +1,137 @@
+"""The three packing methods for MPI_Send/MPI_Recv (Sec. 4).
+
+All three move the same packed bytes; they differ in where the intermediate
+contiguous buffer lives and which transfer primitive carries it:
+
+``device`` (Eq. 1)
+    Pack into an intermediate **device** buffer, send it with the CUDA-aware
+    path (``T_gpu-gpu``), unpack from a device buffer at the destination.
+``oneshot`` (Eq. 2)
+    Pack directly into **mapped host** memory over the interconnect
+    (zero-copy), send it with the host path (``T_cpu-cpu``), unpack straight
+    from mapped host memory at the destination.
+``staged`` (Eq. 3)
+    Like ``device`` but the intermediate buffer is explicitly copied to a
+    pinned host buffer before the host-path send (and back on the receive).
+    The paper finds it never wins on Summit (Fig. 9b); it is implemented so
+    the benchmark can show the same thing.
+
+The sender and receiver must stage symmetric buffers only in the sense that
+the wire payload is identical packed bytes; each side picks its method from
+its own (identical) model query, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gpu.memory import MemoryKind
+from repro.mpi.datatype import BYTE
+from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
+from repro.tempi.cache import ResourceCache
+from repro.tempi.config import PackMethod
+from repro.tempi.packer import Packer
+
+
+class MethodError(RuntimeError):
+    """A packing method was asked to do something impossible."""
+
+
+def _staging_kind(method: PackMethod) -> MemoryKind:
+    if method is PackMethod.DEVICE:
+        return MemoryKind.DEVICE
+    if method is PackMethod.ONESHOT:
+        return MemoryKind.HOST_MAPPED
+    if method is PackMethod.STAGED:
+        return MemoryKind.DEVICE
+    raise MethodError(f"{method} is not a concrete packing method")
+
+
+def send_packed(
+    comm,
+    cache: ResourceCache,
+    packer: Packer,
+    method: PackMethod,
+    buffer,
+    count: int,
+    dest: int,
+    tag: int,
+) -> None:
+    """Pack ``count`` objects from ``buffer`` and send them with ``method``."""
+    nbytes = packer.packed_size(count)
+    staging = cache.get_buffer(nbytes, _staging_kind(method))
+    try:
+        packer.pack(comm.gpu, buffer, staging, count)
+        if method is PackMethod.STAGED:
+            host = cache.get_buffer(nbytes, MemoryKind.HOST_PINNED)
+            try:
+                comm.gpu.memcpy_async(host, staging, nbytes)
+                comm.gpu.stream_synchronize()
+                comm.Send((host.view(0, nbytes), nbytes, BYTE), dest, tag)
+            finally:
+                cache.put_buffer(host)
+        else:
+            comm.Send((staging.view(0, nbytes), nbytes, BYTE), dest, tag)
+    finally:
+        cache.put_buffer(staging)
+
+
+def recv_packed(
+    comm,
+    cache: ResourceCache,
+    packer: Packer,
+    method: PackMethod,
+    buffer,
+    count: int,
+    source: int = ANY_SOURCE,
+    tag: int = ANY_TAG,
+    status: Optional[Status] = None,
+) -> Status:
+    """Receive packed objects with ``method`` and unpack them into ``buffer``."""
+    nbytes = packer.packed_size(count)
+    staging = cache.get_buffer(nbytes, _staging_kind(method))
+    try:
+        if method is PackMethod.STAGED:
+            host = cache.get_buffer(nbytes, MemoryKind.HOST_PINNED)
+            try:
+                result = comm.Recv((host.view(0, nbytes), nbytes, BYTE), source, tag, status)
+                comm.gpu.memcpy_async(staging, host, nbytes)
+                comm.gpu.stream_synchronize()
+            finally:
+                cache.put_buffer(host)
+        else:
+            result = comm.Recv((staging.view(0, nbytes), nbytes, BYTE), source, tag, status)
+        packer.unpack(comm.gpu, staging, buffer, count)
+        return result
+    finally:
+        cache.put_buffer(staging)
+
+
+def pack_to_user_buffer(
+    comm,
+    packer: Packer,
+    buffer,
+    count: int,
+    outbuf,
+    position: int,
+) -> int:
+    """TEMPI's ``MPI_Pack``: one kernel into the user's output buffer.
+
+    Returns the updated position.  Used by the interposer when both buffers
+    are usable from the GPU.
+    """
+    written = packer.pack(comm.gpu, buffer, outbuf, count, dst_offset=position)
+    return position + written
+
+
+def unpack_from_user_buffer(
+    comm,
+    packer: Packer,
+    inbuf,
+    position: int,
+    buffer,
+    count: int,
+) -> int:
+    """TEMPI's ``MPI_Unpack``; returns the updated position."""
+    consumed = packer.unpack(comm.gpu, inbuf, buffer, count, src_offset=position)
+    return position + consumed

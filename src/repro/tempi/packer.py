@@ -1,0 +1,191 @@
+"""Packers: the committed-datatype handlers.
+
+At ``MPI_Type_commit`` time TEMPI builds one :class:`Packer` per datatype and
+caches it on the datatype (Sec. 3).  A packer knows the datatype's
+:class:`~repro.tempi.strided_block.StridedBlock`, its MPI extent (spacing of
+consecutive objects in a user buffer) and the selected
+:class:`~repro.tempi.kernels.KernelSpec`; its :meth:`Packer.pack` /
+:meth:`Packer.unpack` move any number of objects between the strided user
+buffer and a contiguous buffer.
+
+Whether a pack lands in device memory (the *device* method) or in mapped host
+memory (the *one-shot* method) is decided by the caller simply by handing a
+different destination buffer — the simulated runtime charges the matching
+bandwidth, just as the real kernels see different memory behind the same
+pointer type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.device import DeviceProperties
+from repro.gpu.memory import Buffer
+from repro.gpu.runtime import CudaRuntime
+from repro.tempi.kernels import KernelSpec, select_kernel
+from repro.tempi.strided_block import StridedBlock
+
+
+class PackError(RuntimeError):
+    """A pack/unpack call was inconsistent with the committed datatype."""
+
+
+@dataclass
+class PackerStats:
+    """Counters used by tests and the cache-ablation benchmark."""
+
+    packs: int = 0
+    unpacks: int = 0
+    bytes_packed: int = 0
+    bytes_unpacked: int = 0
+
+
+class Packer:
+    """Pack/unpack engine for one committed datatype."""
+
+    def __init__(
+        self,
+        block: StridedBlock,
+        object_extent: int,
+        properties: DeviceProperties = DeviceProperties(),
+    ) -> None:
+        if object_extent <= 0:
+            raise PackError(f"object extent must be positive, got {object_extent}")
+        self.block = block
+        self.object_extent = object_extent
+        self.properties = properties
+        self.kernel: KernelSpec = select_kernel(block, properties)
+        self.stats = PackerStats()
+
+    # ------------------------------------------------------------------ sizes
+    def packed_size(self, count: int = 1) -> int:
+        """Bytes produced by packing ``count`` objects."""
+        if count <= 0:
+            raise PackError(f"count must be positive, got {count}")
+        return self.block.packed_bytes * count
+
+    def required_input(self, count: int = 1) -> int:
+        """Bytes of user buffer needed to hold ``count`` objects."""
+        return self.block.start + (count - 1) * self.object_extent + self.block.extent
+
+    def _memcpyable(self, count: int) -> bool:
+        """True when the whole transfer is one contiguous run.
+
+        A contiguous block is a single memcpy for one object; for several
+        objects it remains one memcpy only if consecutive objects tile the
+        buffer without holes (MPI extent equals the payload size).
+        """
+        if not self.block.is_contiguous:
+            return False
+        return count == 1 or self.object_extent == self.block.packed_bytes
+
+    # ------------------------------------------------------------------- pack
+    def pack(
+        self,
+        runtime: CudaRuntime,
+        src: Buffer,
+        dst: Buffer,
+        count: int = 1,
+        dst_offset: int = 0,
+    ) -> int:
+        """Gather ``count`` objects from ``src`` into contiguous ``dst``.
+
+        Returns the number of bytes written.  The source is the (possibly
+        strided) user buffer; the destination decides the strategy: a device
+        buffer for the *device* method, a mapped host buffer for *one-shot*.
+        """
+        nbytes = self.packed_size(count)
+        self._check_buffers(src, dst, count, nbytes, dst_offset, packing=True)
+        if self._memcpyable(count):
+            runtime.memcpy_async(
+                dst,
+                src,
+                nbytes,
+                dst_offset=dst_offset,
+                src_offset=self.block.start,
+            )
+            runtime.stream_synchronize()
+        else:
+            runtime.launch_pack(
+                src,
+                dst,
+                self.block.start,
+                self.block.counts,
+                self.block.strides,
+                count=count,
+                object_extent=self.object_extent,
+                dst_offset=dst_offset,
+                word_size=self.kernel.word_size,
+            )
+            runtime.stream_synchronize()
+        self.stats.packs += 1
+        self.stats.bytes_packed += nbytes
+        return nbytes
+
+    def unpack(
+        self,
+        runtime: CudaRuntime,
+        src: Buffer,
+        dst: Buffer,
+        count: int = 1,
+        src_offset: int = 0,
+    ) -> int:
+        """Scatter ``count`` packed objects from contiguous ``src`` into ``dst``."""
+        nbytes = self.packed_size(count)
+        self._check_buffers(dst, src, count, nbytes, src_offset, packing=False)
+        if self._memcpyable(count):
+            runtime.memcpy_async(
+                dst,
+                src,
+                nbytes,
+                dst_offset=self.block.start,
+                src_offset=src_offset,
+            )
+            runtime.stream_synchronize()
+        else:
+            runtime.launch_unpack(
+                src,
+                dst,
+                self.block.start,
+                self.block.counts,
+                self.block.strides,
+                count=count,
+                object_extent=self.object_extent,
+                src_offset=src_offset,
+                word_size=self.kernel.word_size,
+            )
+            runtime.stream_synchronize()
+        self.stats.unpacks += 1
+        self.stats.bytes_unpacked += nbytes
+        return nbytes
+
+    # -------------------------------------------------------------- validation
+    def _check_buffers(
+        self,
+        strided: Buffer,
+        contiguous: Buffer,
+        count: int,
+        nbytes: int,
+        contiguous_offset: int,
+        *,
+        packing: bool,
+    ) -> None:
+        required = self.required_input(count)
+        if strided.nbytes < required:
+            role = "source" if packing else "destination"
+            raise PackError(
+                f"strided {role} of {strided.nbytes} bytes cannot hold {count} object(s) "
+                f"needing {required} bytes"
+            )
+        if contiguous_offset < 0 or contiguous_offset + nbytes > contiguous.nbytes:
+            role = "destination" if packing else "source"
+            raise PackError(
+                f"contiguous {role} of {contiguous.nbytes} bytes cannot hold {nbytes} bytes "
+                f"at offset {contiguous_offset}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packer {self.block} word={self.kernel.word_size} "
+            f"dims={self.kernel.dimensions}>"
+        )

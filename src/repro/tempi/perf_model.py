@@ -1,0 +1,154 @@
+"""The runtime performance model (Sec. 4, Sec. 6.3).
+
+The model combines the measured curves of :class:`~repro.tempi.measurement.SystemMeasurement`
+into the three end-to-end send latencies of the paper:
+
+.. math::
+
+    T_{device}  &= T_{gpu\\text{-}pack} + T_{gpu\\text{-}gpu} + T_{gpu\\text{-}unpack}      \\\\
+    T_{oneshot} &= T_{host\\text{-}pack} + T_{cpu\\text{-}cpu} + T_{host\\text{-}unpack}    \\\\
+    T_{staged}  &= T_{gpu\\text{-}pack} + T_{d2h} + T_{cpu\\text{-}cpu} + T_{h2d} + T_{gpu\\text{-}unpack}
+
+Measurements are sparse by necessity: transfers are interpolated in 1-D over
+the message size, pack/unpack latencies in 2-D over (contiguous block length,
+object size), both on logarithmic axes.  Queries are pure functions of their
+arguments, so results are memoised; the interposer charges the measured
+~277 ns only for cached queries and a few microseconds for cold ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.interpolate import RegularGridInterpolator
+
+from repro.tempi.config import PackMethod
+from repro.tempi.measurement import SystemMeasurement
+
+
+@dataclass(frozen=True)
+class MethodEstimate:
+    """The three modelled latencies for one (object size, block length) query."""
+
+    oneshot: float
+    device: float
+    staged: float
+
+    def best(self) -> PackMethod:
+        """The method the model selects (staged is never preferred, Fig. 9b)."""
+        return PackMethod.ONESHOT if self.oneshot <= self.device else PackMethod.DEVICE
+
+
+class PerformanceModel:
+    """Interpolating model over one machine's measurement file."""
+
+    def __init__(self, measurement: SystemMeasurement) -> None:
+        self.measurement = measurement
+        arrays = measurement.as_arrays()
+        self._log_sizes = np.log2(arrays["sizes"])
+        self._log_blocks = np.log2(arrays["block_lengths"])
+        self._transfer_curves = {
+            "cpu_cpu": arrays["t_cpu_cpu"],
+            "gpu_gpu": arrays["t_gpu_gpu"],
+            "d2h": arrays["t_d2h"],
+            "h2d": arrays["t_h2d"],
+        }
+        self._pack_tables = {
+            ("device", "pack"): arrays["t_pack_device"],
+            ("device", "unpack"): arrays["t_unpack_device"],
+            ("oneshot", "pack"): arrays["t_pack_oneshot"],
+            ("oneshot", "unpack"): arrays["t_unpack_oneshot"],
+        }
+        self._pack_interpolators: Dict[Tuple[str, str], RegularGridInterpolator] = {}
+        for key, table in self._pack_tables.items():
+            self._pack_interpolators[key] = RegularGridInterpolator(
+                (self._log_blocks, self._log_sizes),
+                np.asarray(table),
+                bounds_error=False,
+                fill_value=None,  # linear extrapolation at the edges
+            )
+        self._memo: Dict[Tuple, float] = {}
+        self.queries = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------- primitives
+    def transfer_time(self, kind: str, nbytes: int) -> float:
+        """Interpolated transfer latency (``cpu_cpu``, ``gpu_gpu``, ``d2h``, ``h2d``)."""
+        if kind not in self._transfer_curves:
+            raise KeyError(f"unknown transfer kind {kind!r}")
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        key = ("transfer", kind, int(nbytes))
+        return self._memoized(key, lambda: self._interp_transfer(kind, nbytes))
+
+    def _interp_transfer(self, kind: str, nbytes: int) -> float:
+        curve = self._transfer_curves[kind]
+        log_size = np.log2(nbytes)
+        value = np.interp(log_size, self._log_sizes, curve)
+        # np.interp clamps; extrapolate the bandwidth term beyond the sweep.
+        if log_size > self._log_sizes[-1]:
+            slope = (curve[-1] - curve[-2]) / (self._log_sizes[-1] - self._log_sizes[-2])
+            value = curve[-1] + slope * (log_size - self._log_sizes[-1])
+        return float(value)
+
+    def pack_time(self, strategy: str, operation: str, nbytes: int, block_length: int) -> float:
+        """Interpolated pack/unpack latency for a strategy (``device``/``oneshot``)."""
+        key = ("pack", strategy, operation, int(nbytes), int(block_length))
+        return self._memoized(
+            key, lambda: self._interp_pack(strategy, operation, nbytes, block_length)
+        )
+
+    def _interp_pack(self, strategy: str, operation: str, nbytes: int, block_length: int) -> float:
+        if (strategy, operation) not in self._pack_interpolators:
+            raise KeyError(f"unknown pack table {(strategy, operation)!r}")
+        if nbytes <= 0 or block_length <= 0:
+            raise ValueError("nbytes and block_length must be positive")
+        interpolator = self._pack_interpolators[(strategy, operation)]
+        point = np.array([
+            np.clip(np.log2(block_length), self._log_blocks[0], self._log_blocks[-1]),
+            np.log2(nbytes),
+        ])
+        return float(max(0.0, interpolator(point)[0]))
+
+    def _memoized(self, key: Tuple, compute) -> float:
+        self.queries += 1
+        if key in self._memo:
+            self.cache_hits += 1
+            return self._memo[key]
+        value = compute()
+        self._memo[key] = value
+        return value
+
+    # --------------------------------------------------------------- the model
+    def estimate(self, nbytes: int, block_length: int) -> MethodEstimate:
+        """Evaluate Eqs. 1-3 for an object of ``nbytes`` with ``block_length`` runs."""
+        oneshot = (
+            self.pack_time("oneshot", "pack", nbytes, block_length)
+            + self.transfer_time("cpu_cpu", nbytes)
+            + self.pack_time("oneshot", "unpack", nbytes, block_length)
+        )
+        device = (
+            self.pack_time("device", "pack", nbytes, block_length)
+            + self.transfer_time("gpu_gpu", nbytes)
+            + self.pack_time("device", "unpack", nbytes, block_length)
+        )
+        staged = (
+            self.pack_time("device", "pack", nbytes, block_length)
+            + self.transfer_time("d2h", nbytes)
+            + self.transfer_time("cpu_cpu", nbytes)
+            + self.transfer_time("h2d", nbytes)
+            + self.pack_time("device", "unpack", nbytes, block_length)
+        )
+        return MethodEstimate(oneshot=oneshot, device=device, staged=staged)
+
+    def choose_method(self, nbytes: int, block_length: int) -> PackMethod:
+        """The faster of one-shot and device for this object (Sec. 6.3)."""
+        return self.estimate(nbytes, block_length).best()
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries answered from the memo (tests for the 277 ns claim)."""
+        return self.cache_hits / self.queries if self.queries else 0.0

@@ -1,0 +1,140 @@
+"""StridedBlock: the compact canonical representation (Sec. 3.3, Alg. 5).
+
+After canonicalisation the Type chain is a stack of ``StreamData`` levels over
+one ``DenseData`` leaf.  Such a chain is semantically an MPI subarray, and
+TEMPI lowers it to a :class:`StridedBlock`:
+
+* ``start`` — byte offset of the first byte from the buffer origin
+  (the accumulated per-level offsets);
+* ``counts`` — elements per dimension, innermost (contiguous) first;
+* ``strides`` — bytes between elements of each dimension, so ``strides[0]``
+  is always 1 and ``counts[0]`` is the contiguous-run length in bytes.
+
+The StridedBlock is the only thing the pack kernels need; it occupies a few
+dozen host bytes and **no device memory**, which is the paper's answer to the
+block-list representations of prior work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.tempi.ir import Type
+
+
+@dataclass(frozen=True)
+class StridedBlock:
+    """An n-dimensional strided block of bytes."""
+
+    start: int
+    counts: tuple[int, ...]
+    strides: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+        if len(self.counts) != len(self.strides):
+            raise ValueError("counts and strides must have the same length")
+        if not self.counts:
+            raise ValueError("a StridedBlock needs at least one dimension")
+        if any(c <= 0 for c in self.counts) or any(s <= 0 for s in self.strides):
+            raise ValueError("counts and strides must be positive")
+        if self.strides[0] != 1:
+            raise ValueError("dimension 0 must be the contiguous run (stride 1)")
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def ndims(self) -> int:
+        """Number of dimensions (1 = fully contiguous)."""
+        return len(self.counts)
+
+    @property
+    def is_contiguous(self) -> bool:
+        """True when the block is a single contiguous run."""
+        return self.ndims == 1
+
+    @property
+    def block_length(self) -> int:
+        """Bytes in each contiguous run (``counts[0]``)."""
+        return self.counts[0]
+
+    @property
+    def packed_bytes(self) -> int:
+        """Payload bytes of one object (product of counts)."""
+        total = 1
+        for count in self.counts:
+            total *= count
+        return total
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of contiguous runs in one object."""
+        return self.packed_bytes // self.block_length
+
+    @property
+    def extent(self) -> int:
+        """Bytes of underlying storage spanned by one object (from ``start``)."""
+        last = 0
+        for count, stride in zip(self.counts, self.strides):
+            last += (count - 1) * stride
+        return last + 1
+
+    def footprint(self) -> int:
+        """Host metadata bytes (8 per integer); the paper's Sec. 2 comparison."""
+        return 8 * (1 + 2 * self.ndims)
+
+    def __str__(self) -> str:
+        dims = "x".join(str(c) for c in self.counts)
+        return f"StridedBlock(start={self.start}, {dims}, strides={list(self.strides)})"
+
+
+def to_strided_block(ty: Type) -> Optional[StridedBlock]:
+    """Lower a canonicalised Type chain to a StridedBlock (Alg. 5).
+
+    Returns ``None`` when the chain is not a stack of streams over a dense
+    leaf — the "not strided" case of the paper, which falls back to the
+    baseline path.
+    """
+    levels = list(ty.levels())
+    leaf = levels[-1]
+    if not leaf.is_dense:
+        return None
+    if not all(level.is_stream for level in levels[:-1]):
+        return None
+
+    start = leaf.data.offset
+    counts = [leaf.data.extent]
+    strides = [1]
+    # Walk from the level directly above the leaf up to the root so that
+    # dimension i+1 is the next-slower dimension, as the kernels expect.
+    for level in reversed(levels[:-1]):
+        start += level.data.offset
+        counts.append(level.data.count)
+        strides.append(level.data.stride)
+    return StridedBlock(start=start, counts=tuple(counts), strides=tuple(strides))
+
+
+@dataclass(frozen=True)
+class ObjectShape:
+    """A StridedBlock plus the dynamic ``count`` of objects an MPI call names.
+
+    The object count is not known at commit time (Sec. 3.3), so it travels
+    separately; ``object_extent`` is the spacing between consecutive objects
+    in the user buffer (the MPI extent of the committed datatype).
+    """
+
+    block: StridedBlock
+    count: int = 1
+    object_extent: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"object count must be positive, got {self.count}")
+        if self.object_extent < 0:
+            raise ValueError("object_extent must be non-negative")
+
+    @property
+    def total_bytes(self) -> int:
+        """Packed payload of all objects."""
+        return self.block.packed_bytes * self.count

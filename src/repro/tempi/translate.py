@@ -1,0 +1,142 @@
+"""Type translation: MPI datatype → Type IR (Sec. 3.1).
+
+Each MPI constructor maps onto the IR as the paper prescribes:
+
+* a *named* type becomes a ``DenseData`` of its extent;
+* *contiguous* becomes a ``StreamData`` whose stride equals the old type's
+  extent (it is not a ``DenseData`` because the old type may not be dense);
+* *vector*/*hvector* become two nested ``StreamData`` — the parent for the
+  repeated blocks, the child for the elements within a block;
+* *subarray* becomes one ``StreamData`` per dimension, outer (largest stride)
+  levels above inner ones, with the start offsets converted to bytes.
+
+Datatypes TEMPI does not canonicalise (indexed, struct) raise
+:class:`TranslationError`; the interposer catches it and falls back to the
+system MPI's block-list path, mirroring the paper's coverage.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.constructors import (
+    ContiguousDatatype,
+    HvectorDatatype,
+    IndexedDatatype,
+    ResizedDatatype,
+    StructDatatype,
+    SubarrayDatatype,
+    VectorDatatype,
+)
+from repro.mpi.datatype import Datatype, NamedDatatype
+from repro.tempi.ir import DenseData, StreamData, Type
+
+
+class TranslationError(ValueError):
+    """The datatype is outside the family TEMPI canonicalises."""
+
+
+def translate(datatype: Datatype) -> Type:
+    """Convert an MPI datatype into its Type IR.
+
+    Raises
+    ------
+    TranslationError
+        For datatype families TEMPI does not handle (indexed, struct);
+        callers are expected to fall back to the baseline engine.
+    """
+    if isinstance(datatype, NamedDatatype):
+        return _translate_named(datatype)
+    if isinstance(datatype, ContiguousDatatype):
+        return _translate_contiguous(datatype)
+    if isinstance(datatype, VectorDatatype):
+        return _translate_vector(datatype)
+    if isinstance(datatype, HvectorDatatype):
+        return _translate_hvector(datatype)
+    if isinstance(datatype, SubarrayDatatype):
+        return _translate_subarray(datatype)
+    if isinstance(datatype, ResizedDatatype):
+        # Resizing changes only the extent (the spacing of *consecutive*
+        # elements); the bytes of one element are those of the inner type.
+        return translate(datatype.oldtype)
+    if isinstance(datatype, (IndexedDatatype, StructDatatype)):
+        raise TranslationError(
+            f"{type(datatype).__name__} is handled by the baseline block-list path, "
+            f"not by TEMPI's canonical representation"
+        )
+    raise TranslationError(f"unknown datatype class {type(datatype).__name__}")
+
+
+# --------------------------------------------------------------------------- #
+# Per-combiner translations
+# --------------------------------------------------------------------------- #
+
+def _translate_named(datatype: NamedDatatype) -> Type:
+    """A named type is a dense run of its own extent with offset 0."""
+    return Type(DenseData(offset=0, extent=datatype.extent))
+
+
+def _translate_contiguous(datatype: ContiguousDatatype) -> Type:
+    """A contiguous type is a stream whose stride equals the old type's extent."""
+    child = translate(datatype.oldtype)
+    data = StreamData(offset=0, stride=datatype.oldtype.extent, count=datatype.count)
+    return Type(data, child)
+
+
+def _translate_vector(datatype: VectorDatatype) -> Type:
+    """A vector is two nested streams: blocks (parent) of elements (child).
+
+    The child's stride is the old type's extent; the parent's stride is the
+    child stride times the vector stride (the vector stride is given in
+    elements of the old type).
+    """
+    element = translate(datatype.oldtype)
+    child = Type(
+        StreamData(offset=0, stride=datatype.oldtype.extent, count=datatype.blocklength),
+        element,
+    )
+    parent = StreamData(
+        offset=0,
+        stride=datatype.stride * datatype.oldtype.extent,
+        count=datatype.count,
+    )
+    return Type(parent, child)
+
+
+def _translate_hvector(datatype: HvectorDatatype) -> Type:
+    """Like a vector, but the parent stride is the hvector's byte stride."""
+    element = translate(datatype.oldtype)
+    child = Type(
+        StreamData(offset=0, stride=datatype.oldtype.extent, count=datatype.blocklength),
+        element,
+    )
+    parent = StreamData(offset=0, stride=datatype.stride_bytes, count=datatype.count)
+    return Type(parent, child)
+
+
+def _translate_subarray(datatype: SubarrayDatatype) -> Type:
+    """One StreamData per dimension, slowest dimension at the top.
+
+    For dimension ``d`` the count is its subsize, the stride is the product of
+    the full-array sizes of all faster dimensions times the old type's extent,
+    and the offset is the start index converted to bytes with that stride.
+    """
+    node = translate(datatype.oldtype)
+    old_extent = datatype.oldtype.extent
+    # Build from the fastest dimension upwards so the slowest ends up on top.
+    for dim in datatype.fastest_first:
+        stride = datatype.dimension_stride_elements(dim) * old_extent
+        data = StreamData(
+            offset=datatype.starts[dim] * stride,
+            stride=stride,
+            count=datatype.subsizes[dim],
+        )
+        node = Type(data, node)
+    return node
+
+
+def translatable(datatype: Datatype) -> bool:
+    """True when :func:`translate` accepts the datatype (used by the interposer)."""
+    try:
+        translate(datatype)
+    except TranslationError:
+        return False
+    return True

@@ -1,0 +1,79 @@
+"""Tests for the analytic halo-exchange model (Fig. 12)."""
+
+import pytest
+
+from repro.apps.exchange_model import (
+    ExchangeBreakdown,
+    halo_exchange_speedup,
+    model_halo_exchange,
+)
+from repro.apps.halo import HaloSpec
+
+
+class TestBreakdownBasics:
+    def test_total_is_sum_of_phases(self):
+        breakdown = ExchangeBreakdown(1, 1, 1, 0.1, 0.2, 0.3)
+        assert breakdown.total_s == pytest.approx(0.6)
+
+    def test_rank_count(self):
+        breakdown = model_halo_exchange(8, 6)
+        assert breakdown.nranks == 48
+        assert breakdown.nodes == 8
+        assert breakdown.ranks_per_node == 6
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            model_halo_exchange(0, 1)
+        with pytest.raises(ValueError):
+            model_halo_exchange(1, 0)
+
+
+class TestShapes:
+    """The qualitative Fig. 12 trends."""
+
+    def test_baseline_pack_dwarfs_tempi_pack(self):
+        baseline = model_halo_exchange(2, 6, tempi=False)
+        accelerated = model_halo_exchange(2, 6, tempi=True)
+        assert baseline.pack_s / accelerated.pack_s > 100
+
+    def test_comm_phase_identical_between_modes(self):
+        baseline = model_halo_exchange(4, 6, tempi=False)
+        accelerated = model_halo_exchange(4, 6, tempi=True)
+        assert baseline.comm_s == pytest.approx(accelerated.comm_s)
+
+    def test_pack_time_independent_of_rank_count(self):
+        """Fig. 12a: per-rank data volume is constant, so pack time is flat."""
+        small = model_halo_exchange(1, 6, tempi=True)
+        large = model_halo_exchange(64, 6, tempi=True)
+        assert small.pack_s == pytest.approx(large.pack_s)
+
+    def test_comm_grows_then_saturates_with_nodes(self):
+        one = model_halo_exchange(1, 6, tempi=True)
+        eight = model_halo_exchange(8, 6, tempi=True)
+        many = model_halo_exchange(64, 6, tempi=True)
+        assert eight.comm_s > one.comm_s
+        assert many.comm_s >= eight.comm_s
+
+    def test_unpack_slower_than_pack(self):
+        breakdown = model_halo_exchange(8, 6, tempi=True)
+        assert breakdown.unpack_s > breakdown.pack_s
+
+    def test_speedup_decreases_with_scale(self):
+        """Fig. 12b: communication dilutes the datatype-handling win."""
+        small = halo_exchange_speedup(1, 1)
+        mid = halo_exchange_speedup(8, 6)
+        large = halo_exchange_speedup(512, 6)
+        assert small > mid >= large
+
+    def test_speedup_order_of_magnitude_matches_paper(self):
+        """Paper: ~917x at 3072 ranks, thousands at small scale."""
+        large = halo_exchange_speedup(512, 6)
+        assert 50 < large < 20000
+        small = halo_exchange_speedup(1, 1)
+        assert small > large
+
+    def test_smaller_domains_have_smaller_absolute_times(self):
+        small_spec = HaloSpec(nx=64, ny=64, nz=64)
+        small = model_halo_exchange(8, 6, spec=small_spec, tempi=True)
+        paper = model_halo_exchange(8, 6, tempi=True)
+        assert small.total_s < paper.total_s

@@ -1,0 +1,149 @@
+"""Tests for halo geometry, datatypes and the rank grid."""
+
+import pytest
+
+from repro.apps.halo import DIRECTIONS, HaloSpec, RankGrid
+from repro.mpi import typemap
+from repro.tempi.canonicalize import simplify
+from repro.tempi.strided_block import to_strided_block
+from repro.tempi.translate import translate
+
+
+class TestDirections:
+    def test_twenty_six_neighbours(self):
+        assert len(DIRECTIONS) == 26
+        assert (0, 0, 0) not in DIRECTIONS
+
+    def test_faces_edges_corners(self):
+        faces = [d for d in DIRECTIONS if sum(abs(c) for c in d) == 1]
+        edges = [d for d in DIRECTIONS if sum(abs(c) for c in d) == 2]
+        corners = [d for d in DIRECTIONS if sum(abs(c) for c in d) == 3]
+        assert (len(faces), len(edges), len(corners)) == (6, 12, 8)
+
+
+class TestHaloSpec:
+    def test_paper_configuration(self):
+        spec = HaloSpec.paper()
+        assert spec.nx == spec.ny == spec.nz == 256
+        assert spec.radius == 3
+        assert spec.point_bytes == 64
+        # 262^3 * 64 bytes of allocation per rank
+        assert spec.alloc_bytes == 262**3 * 64
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            HaloSpec(nx=0)
+        with pytest.raises(ValueError):
+            HaloSpec(radius=0)
+        with pytest.raises(ValueError):
+            HaloSpec(nx=2, ny=8, nz=8, radius=3)
+        with pytest.raises(ValueError):
+            HaloSpec(fields=0)
+
+    def test_halo_extents_by_direction_class(self):
+        spec = HaloSpec(nx=16, ny=16, nz=16, radius=3)
+        assert spec.halo_extents((1, 0, 0)) == (3, 16, 16)
+        assert spec.halo_extents((0, -1, 0)) == (16, 3, 16)
+        assert spec.halo_extents((1, 1, 0)) == (3, 3, 16)
+        assert spec.halo_extents((1, -1, 1)) == (3, 3, 3)
+
+    def test_halo_bytes(self):
+        spec = HaloSpec(nx=16, ny=16, nz=16, radius=3)
+        assert spec.halo_bytes((1, 0, 0)) == 3 * 16 * 16 * 64
+        assert spec.halo_bytes((1, 1, 1)) == 27 * 64
+
+    def test_total_halo_bytes_counts_all_directions(self):
+        spec = HaloSpec(nx=8, ny=8, nz=8, radius=2)
+        assert spec.total_halo_bytes() == sum(spec.halo_bytes(d) for d in DIRECTIONS)
+
+    def test_block_length_and_count(self):
+        spec = HaloSpec(nx=16, ny=16, nz=16, radius=3)
+        assert spec.halo_block_length((1, 0, 0)) == 3 * 64
+        assert spec.halo_block_count((1, 0, 0)) == 16 * 16
+        assert spec.halo_block_length((0, 0, 1)) == 16 * 64
+        assert spec.halo_block_count((0, 0, 1)) == 16 * 3
+
+    def test_invalid_direction_rejected(self):
+        spec = HaloSpec()
+        with pytest.raises(ValueError):
+            spec.send_datatype((0, 0, 0))
+        with pytest.raises(ValueError):
+            spec.recv_datatype((2, 0, 0))
+
+
+class TestHaloDatatypes:
+    spec = HaloSpec(nx=8, ny=8, nz=8, radius=2)
+
+    def test_size_matches_halo_bytes(self):
+        for direction in DIRECTIONS:
+            send = self.spec.send_datatype(direction)
+            recv = self.spec.recv_datatype(direction)
+            assert send.size == self.spec.halo_bytes(direction)
+            assert recv.size == send.size
+
+    def test_send_and_recv_regions_disjoint(self):
+        for direction in DIRECTIONS:
+            send_blocks = set(typemap.flatten(self.spec.send_datatype(direction)))
+            recv_blocks = set(typemap.flatten(self.spec.recv_datatype(direction)))
+            assert not send_blocks & recv_blocks
+
+    def test_regions_fit_inside_allocation(self):
+        for direction in DIRECTIONS:
+            for datatype in (
+                self.spec.send_datatype(direction),
+                self.spec.recv_datatype(direction),
+            ):
+                last = max(o + l for o, l in typemap.flatten(datatype))
+                assert last <= self.spec.alloc_bytes
+
+    def test_block_count_matches_analytic(self):
+        for direction in DIRECTIONS:
+            datatype = self.spec.send_datatype(direction)
+            assert len(list(typemap.flatten(datatype))) == self.spec.halo_block_count(direction)
+
+    def test_datatypes_are_tempi_translatable(self):
+        for direction in DIRECTIONS:
+            block = to_strided_block(simplify(translate(self.spec.send_datatype(direction))))
+            assert block is not None
+            assert block.packed_bytes == self.spec.halo_bytes(direction)
+            assert block.block_length == self.spec.halo_block_length(direction)
+
+
+class TestRankGrid:
+    def test_near_cubic_factorisation(self):
+        assert sorted(RankGrid.for_ranks(8).dims) == [2, 2, 2]
+        assert sorted(RankGrid.for_ranks(12).dims) == [2, 2, 3]
+        assert sorted(RankGrid.for_ranks(27).dims) == [3, 3, 3]
+        assert sorted(RankGrid.for_ranks(3072).dims) == [12, 16, 16]
+
+    def test_prime_counts_degenerate(self):
+        assert sorted(RankGrid.for_ranks(7).dims) == [1, 1, 7]
+
+    def test_rank_count_preserved(self):
+        for n in (1, 2, 6, 48, 384):
+            assert RankGrid.for_ranks(n).nranks == n
+
+    def test_coords_roundtrip(self):
+        grid = RankGrid.for_ranks(24)
+        for rank in range(24):
+            assert grid.rank_of(grid.coords(rank)) == rank
+
+    def test_periodic_neighbours(self):
+        grid = RankGrid((2, 2, 2))
+        # wrapping in every axis
+        assert grid.neighbor(0, (-1, 0, 0)) == grid.neighbor(0, (1, 0, 0))
+        assert grid.neighbor(7, (1, 1, 1)) == 0
+
+    def test_neighbors_enumerates_all_directions(self):
+        grid = RankGrid.for_ranks(27)
+        pairs = list(grid.neighbors(13))
+        assert len(pairs) == 26
+        assert all(0 <= peer < 27 for _, peer in pairs)
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(ValueError):
+            RankGrid.for_ranks(8).coords(8)
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            RankGrid.for_ranks(0)

@@ -1,0 +1,98 @@
+"""Tests for the functional 3-D stencil halo exchange."""
+
+import pytest
+
+from repro.apps.halo import HaloSpec
+from repro.apps.stencil import HaloExchange, HaloTiming, aggregate_timings
+from repro.mpi.world import World
+from repro.tempi.config import TempiConfig
+from repro.tempi.interposer import interpose
+
+SMALL = HaloSpec(nx=6, ny=6, nz=6, radius=2, fields=2, bytes_per_field=4)
+
+
+def run_exchange(nranks, *, use_tempi, summit_model=None, spec=SMALL, iterations=1):
+    def program(ctx):
+        comm = interpose(ctx, model=summit_model) if use_tempi else ctx.comm
+        app = HaloExchange(ctx, comm, spec)
+        timings = app.run(iterations=iterations, verify=True)
+        return timings
+
+    world = World(nranks, ranks_per_node=min(nranks, 6))
+    return world.run(program)
+
+
+class TestTimingContainers:
+    def test_total(self):
+        timing = HaloTiming(1.0, 2.0, 3.0)
+        assert timing.total_s == 6.0
+
+    def test_aggregate_takes_maxima(self):
+        timings = [HaloTiming(1.0, 5.0, 1.0), HaloTiming(2.0, 1.0, 4.0)]
+        combined = aggregate_timings(timings)
+        assert (combined.pack_s, combined.comm_s, combined.unpack_s) == (2.0, 5.0, 4.0)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_timings([])
+
+
+class TestSingleRank:
+    """With one rank every neighbour is the rank itself (fully periodic)."""
+
+    def test_baseline_exchange_verifies(self):
+        run_exchange(1, use_tempi=False)
+
+    def test_tempi_exchange_verifies(self, summit_model):
+        run_exchange(1, use_tempi=True, summit_model=summit_model)
+
+    def test_phase_times_positive(self):
+        timings = run_exchange(1, use_tempi=False)[0]
+        assert timings[0].pack_s > 0
+        assert timings[0].unpack_s > 0
+
+
+class TestMultiRank:
+    def test_two_ranks_baseline(self):
+        run_exchange(2, use_tempi=False)
+
+    def test_eight_ranks_baseline(self):
+        run_exchange(8, use_tempi=False)
+
+    def test_eight_ranks_tempi(self, summit_model):
+        run_exchange(8, use_tempi=True, summit_model=summit_model)
+
+    def test_mismatched_grid_rejected(self):
+        from repro.apps.halo import RankGrid
+
+        def program(ctx):
+            with pytest.raises(ValueError):
+                HaloExchange(ctx, ctx.comm, SMALL, grid=RankGrid((2, 1, 1)))
+            return True
+
+        assert all(World(4, ranks_per_node=4).run(program))
+
+    def test_invalid_iterations_rejected(self):
+        def program(ctx):
+            app = HaloExchange(ctx, ctx.comm, SMALL)
+            with pytest.raises(ValueError):
+                app.run(iterations=0)
+            return True
+
+        assert all(World(1).run(program))
+
+
+class TestTempiSpeedsUpExchange:
+    def test_pack_phase_much_faster_with_tempi(self, summit_model):
+        """The Fig. 12 mechanism: pack/unpack collapse, communication unchanged."""
+        baseline = run_exchange(2, use_tempi=False)
+        accelerated = run_exchange(2, use_tempi=True, summit_model=summit_model)
+        base = aggregate_timings([t for rank in baseline for t in rank])
+        fast = aggregate_timings([t for rank in accelerated for t in rank])
+        assert base.pack_s / fast.pack_s > 5
+        assert base.unpack_s / fast.unpack_s > 5
+        assert base.total_s > fast.total_s
+
+    def test_repeated_iterations_stay_correct(self, summit_model):
+        timings = run_exchange(2, use_tempi=True, summit_model=summit_model, iterations=3)
+        assert all(len(per_rank) == 3 for per_rank in timings)

@@ -1,0 +1,49 @@
+"""Tests for the paper-vs-measured report collector."""
+
+from repro.bench.reporting import ExperimentRecord, ReportCollector, global_report
+
+
+class TestCollector:
+    def test_add_and_query(self):
+        collector = ReportCollector()
+        collector.add("fig8", "speedup", "242,000x", "39,000x", matches_shape=True)
+        collector.add("fig11", "floor", "30 us", "28 us", matches_shape=True, note="warm cache")
+        assert len(collector.records) == 2
+        assert len(collector.for_experiment("fig8")) == 1
+        assert collector.all_shapes_hold
+
+    def test_shape_violation_detected(self):
+        collector = ReportCollector()
+        collector.add("fig9", "crossover", "present", "absent", matches_shape=False)
+        assert not collector.all_shapes_hold
+
+    def test_markdown_rendering(self):
+        collector = ReportCollector()
+        collector.add("fig8", "speedup", "a", "b", matches_shape=True)
+        markdown = collector.to_markdown()
+        assert markdown.startswith("| Experiment |")
+        assert "| fig8 |" in markdown
+
+    def test_text_rendering(self):
+        collector = ReportCollector()
+        collector.add("fig8", "speedup", "a", "b", matches_shape=False)
+        text = collector.to_text()
+        assert "fig8" in text
+        assert "NO" in text
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        collector = ReportCollector()
+        collector.add("table1", "latency", "13 us", "11 us", matches_shape=True)
+        path = collector.save(tmp_path / "report.json")
+        loaded = ReportCollector.load(path)
+        assert loaded.records == collector.records
+
+    def test_merge(self):
+        first = ReportCollector([ExperimentRecord("a", "q", "1", "2", True)])
+        second = ReportCollector([ExperimentRecord("b", "q", "1", "2", True)])
+        first.merge([second])
+        assert len(first.records) == 2
+
+    def test_global_report_is_shared(self):
+        report = global_report()
+        assert report is global_report()

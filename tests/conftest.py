@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.clock import VirtualClock
+from repro.gpu.cost_model import FREE_GPU, SUMMIT_GPU, GpuCostModel
+from repro.gpu.runtime import CudaRuntime
+from repro.machine.spec import SUMMIT
+from repro.tempi.measurement import measure_system
+from repro.tempi.perf_model import PerformanceModel
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    """A fresh virtual clock."""
+    return VirtualClock()
+
+
+@pytest.fixture
+def free_runtime() -> CudaRuntime:
+    """A runtime whose operations cost (almost) no virtual time.
+
+    Use this for purely functional tests so assertions about byte movement
+    are not entangled with timing behaviour.
+    """
+    return CudaRuntime(cost_model=FREE_GPU)
+
+
+@pytest.fixture
+def summit_runtime() -> CudaRuntime:
+    """A runtime with the Summit-like cost model."""
+    return CudaRuntime(cost_model=SUMMIT_GPU)
+
+
+@pytest.fixture(scope="session")
+def summit_measurement():
+    """One measurement sweep shared by the whole session (it is not free)."""
+    return measure_system(SUMMIT)
+
+
+@pytest.fixture(scope="session")
+def summit_model(summit_measurement) -> PerformanceModel:
+    """A performance model over the shared measurement."""
+    return PerformanceModel(summit_measurement)
+
+
+@pytest.fixture
+def small_gpu_cost() -> GpuCostModel:
+    """A cost model with round numbers, convenient for arithmetic assertions."""
+    return GpuCostModel(
+        kernel_launch_s=1e-6,
+        kernel_sync_s=1e-6,
+        memcpy_call_s=2e-6,
+        alloc_s=10e-6,
+        free_s=5e-6,
+        host_alloc_pinned_s=20e-6,
+        d2d_bandwidth=1e9,
+        d2h_bandwidth=1e9,
+        h2d_bandwidth=1e9,
+        zero_copy_bandwidth=1e9,
+        device_saturation_block=128,
+        zero_copy_saturation_block=32,
+        min_efficiency=1.0 / 128.0,
+        unpack_penalty=2.0,
+    )

@@ -1,0 +1,102 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.gpu.clock import ClockError, ClockRegion, VirtualClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(3.0) == pytest.approx(3.0)
+
+    def test_advance_by_zero_is_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-1e-9)
+
+    def test_event_counter_increments(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        clock.advance(1.0)
+        assert clock.events == 2
+
+
+class TestAdvanceTo:
+    def test_moves_forward(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        assert clock.now == pytest.approx(5.0)
+
+    def test_past_target_is_noop(self):
+        clock = VirtualClock()
+        clock.advance(10.0)
+        clock.advance_to(3.0)
+        assert clock.now == pytest.approx(10.0)
+
+    def test_equal_target_is_noop(self):
+        clock = VirtualClock()
+        clock.advance(2.0)
+        events = clock.events
+        clock.advance_to(2.0)
+        assert clock.events == events
+
+    def test_returns_current_time(self):
+        clock = VirtualClock()
+        assert clock.advance_to(4.0) == pytest.approx(4.0)
+
+
+class TestResetAndElapsed:
+    def test_reset_to_zero(self):
+        clock = VirtualClock()
+        clock.advance(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.events == 0
+
+    def test_reset_to_value(self):
+        clock = VirtualClock()
+        clock.reset(2.5)
+        assert clock.now == pytest.approx(2.5)
+
+    def test_elapsed_since(self):
+        clock = VirtualClock()
+        start = clock.now
+        clock.advance(1.25)
+        assert clock.elapsed_since(start) == pytest.approx(1.25)
+
+
+class TestClockRegion:
+    def test_region_measures_elapsed(self):
+        clock = VirtualClock()
+        with ClockRegion(clock) as region:
+            clock.advance(2e-6)
+            clock.advance(3e-6)
+        assert region.elapsed == pytest.approx(5e-6)
+
+    def test_region_with_no_work(self):
+        clock = VirtualClock()
+        with ClockRegion(clock) as region:
+            pass
+        assert region.elapsed == 0.0
+
+    def test_region_start_recorded(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        with ClockRegion(clock) as region:
+            clock.advance(1.0)
+        assert region.start == pytest.approx(1.0)

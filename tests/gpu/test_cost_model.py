@@ -1,0 +1,131 @@
+"""Tests for the GPU cost model."""
+
+import pytest
+
+from repro.gpu.cost_model import FREE_GPU, SUMMIT_GPU, GpuCostModel
+
+
+class TestValidation:
+    def test_default_model_is_valid(self):
+        GpuCostModel()
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            GpuCostModel(d2d_bandwidth=0)
+
+    def test_negative_saturation_rejected(self):
+        with pytest.raises(ValueError):
+            GpuCostModel(device_saturation_block=0)
+
+    def test_bad_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            GpuCostModel(min_efficiency=0.0)
+        with pytest.raises(ValueError):
+            GpuCostModel(min_efficiency=1.5)
+
+    def test_unpack_penalty_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            GpuCostModel(unpack_penalty=0.5)
+
+
+class TestMemcpy:
+    def test_latency_floor(self):
+        cost = SUMMIT_GPU
+        assert cost.memcpy_d2d_time(0) == pytest.approx(cost.memcpy_call_s)
+
+    def test_bandwidth_term_scales_linearly(self):
+        cost = SUMMIT_GPU
+        one = cost.memcpy_d2d_time(1 << 20) - cost.memcpy_call_s
+        two = cost.memcpy_d2d_time(2 << 20) - cost.memcpy_call_s
+        assert two == pytest.approx(2 * one)
+
+    def test_d2h_slower_than_d2d_for_large_copies(self):
+        cost = SUMMIT_GPU
+        nbytes = 64 << 20
+        assert cost.memcpy_d2h_time(nbytes) > cost.memcpy_d2d_time(nbytes)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SUMMIT_GPU.memcpy_d2d_time(-1)
+
+    def test_h2h_much_cheaper_latency(self):
+        assert SUMMIT_GPU.memcpy_h2h_time(0) < SUMMIT_GPU.memcpy_call_s
+
+
+class TestCoalescingEfficiency:
+    def test_saturates_at_saturation_block(self):
+        cost = SUMMIT_GPU
+        assert cost.coalescing_efficiency(cost.device_saturation_block, cost.device_saturation_block) == 1.0
+        assert cost.coalescing_efficiency(4 * cost.device_saturation_block, cost.device_saturation_block) == 1.0
+
+    def test_monotonic_in_block_length(self):
+        cost = SUMMIT_GPU
+        effs = [cost.coalescing_efficiency(b, 128) for b in (1, 2, 8, 32, 64, 128)]
+        assert effs == sorted(effs)
+
+    def test_floor_applies_to_tiny_blocks(self):
+        cost = SUMMIT_GPU
+        assert cost.coalescing_efficiency(1, 1024) >= cost.min_efficiency
+
+    def test_zero_block_rejected(self):
+        with pytest.raises(ValueError):
+            SUMMIT_GPU.coalescing_efficiency(0, 128)
+
+
+class TestKernelTime:
+    def test_launch_floor_for_empty_kernel(self):
+        cost = SUMMIT_GPU
+        duration = cost.kernel_time(0, 1, target="device")
+        assert duration == pytest.approx(cost.kernel_launch_s + cost.kernel_sync_s)
+
+    def test_unpack_slower_than_pack(self):
+        cost = SUMMIT_GPU
+        pack = cost.kernel_time(1 << 20, 8, target="device", unpack=False)
+        unpack = cost.kernel_time(1 << 20, 8, target="device", unpack=True)
+        assert unpack > pack
+
+    def test_small_blocks_slower_than_large_blocks(self):
+        """The Fig. 10 effect: short contiguous runs waste bandwidth."""
+        cost = SUMMIT_GPU
+        small = cost.kernel_time(1 << 20, 1, target="device")
+        large = cost.kernel_time(1 << 20, 256, target="device")
+        assert small > large
+
+    def test_device_saturates_later_than_zero_copy(self):
+        """One-shot saturates at 32 B, device at 128 B (Sec. 6.3)."""
+        assert SUMMIT_GPU.device_saturation_block > SUMMIT_GPU.zero_copy_saturation_block
+
+    def test_device_beats_host_for_saturated_blocks(self):
+        cost = SUMMIT_GPU
+        device = cost.kernel_time(4 << 20, 256, target="device")
+        host = cost.kernel_time(4 << 20, 256, target="host")
+        assert device < host
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            SUMMIT_GPU.kernel_time(1024, 8, target="weird")
+
+    def test_sync_can_be_excluded(self):
+        cost = SUMMIT_GPU
+        with_sync = cost.kernel_time(1024, 8)
+        without = cost.kernel_time(1024, 8, include_sync=False)
+        assert with_sync - without == pytest.approx(cost.kernel_sync_s)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SUMMIT_GPU.kernel_time(-1, 8)
+
+
+class TestOverridesAndPresets:
+    def test_with_overrides_returns_new_model(self):
+        base = SUMMIT_GPU
+        fast = base.with_overrides(kernel_launch_s=0.0)
+        assert fast.kernel_launch_s == 0.0
+        assert base.kernel_launch_s > 0.0
+
+    def test_free_model_has_no_launch_cost(self):
+        assert FREE_GPU.kernel_launch_s == 0.0
+        assert FREE_GPU.memcpy_call_s == 0.0
+
+    def test_free_model_kernel_time_negligible(self):
+        assert FREE_GPU.kernel_time(1 << 30, 1) < 1e-12

@@ -1,0 +1,139 @@
+"""Tests for streams and events."""
+
+import pytest
+
+from repro.gpu.clock import VirtualClock
+from repro.gpu.errors import CudaStreamError
+from repro.gpu.stream import Event, Stream
+
+
+class TestStreamOrdering:
+    def test_enqueue_serialises_work(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        stream.enqueue(1e-6)
+        stream.enqueue(2e-6)
+        assert stream.ready_time == pytest.approx(3e-6)
+        assert clock.now == 0.0  # host has not waited yet
+
+    def test_host_overhead_charged_immediately(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        stream.enqueue(1e-6, host_overhead=4e-6)
+        assert clock.now == pytest.approx(4e-6)
+        assert stream.ready_time == pytest.approx(5e-6)
+
+    def test_work_starts_after_host_time(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        clock.advance(10e-6)
+        stream.enqueue(1e-6)
+        assert stream.ready_time == pytest.approx(11e-6)
+
+    def test_busy_reflects_outstanding_work(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        assert not stream.busy
+        stream.enqueue(5e-6)
+        assert stream.busy
+
+    def test_negative_duration_rejected(self):
+        stream = Stream(VirtualClock())
+        with pytest.raises(CudaStreamError):
+            stream.enqueue(-1e-6)
+
+
+class TestSynchronize:
+    def test_synchronize_advances_host(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        stream.enqueue(7e-6)
+        stream.synchronize()
+        assert clock.now == pytest.approx(7e-6)
+        assert not stream.busy
+
+    def test_synchronize_overhead(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        stream.enqueue(1e-6)
+        stream.synchronize(sync_overhead=2e-6)
+        assert clock.now == pytest.approx(3e-6)
+
+    def test_synchronize_idle_stream_is_cheap(self):
+        clock = VirtualClock()
+        Stream(clock).synchronize()
+        assert clock.now == 0.0
+
+    def test_destroyed_stream_rejected(self):
+        stream = Stream(VirtualClock())
+        stream.destroy()
+        with pytest.raises(CudaStreamError):
+            stream.enqueue(1e-6)
+        with pytest.raises(CudaStreamError):
+            stream.synchronize()
+
+    def test_operation_counter(self):
+        stream = Stream(VirtualClock())
+        stream.enqueue(1e-6)
+        stream.enqueue(1e-6)
+        assert stream.operations == 2
+
+
+class TestEvents:
+    def test_record_captures_stream_time(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        stream.enqueue(3e-6)
+        event = Event(clock)
+        event.record(stream)
+        assert event.time == pytest.approx(3e-6)
+
+    def test_synchronize_advances_to_event(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        stream.enqueue(5e-6)
+        event = Event(clock)
+        event.record(stream)
+        event.synchronize()
+        assert clock.now == pytest.approx(5e-6)
+
+    def test_query(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        stream.enqueue(5e-6)
+        event = Event(clock)
+        event.record(stream)
+        assert not event.query()
+        clock.advance(5e-6)
+        assert event.query()
+
+    def test_unrecorded_event_rejected(self):
+        clock = VirtualClock()
+        event = Event(clock)
+        with pytest.raises(CudaStreamError):
+            event.synchronize()
+        with pytest.raises(CudaStreamError):
+            event.query()
+        with pytest.raises(CudaStreamError):
+            Stream(clock).wait_event(event)
+
+    def test_elapsed_time_between_events(self):
+        clock = VirtualClock()
+        stream = Stream(clock)
+        first = Event(clock)
+        first.record(stream)
+        stream.enqueue(4e-6)
+        second = Event(clock)
+        second.record(stream)
+        assert Event.elapsed_time(first, second) == pytest.approx(4e-6)
+
+    def test_wait_event_orders_streams(self):
+        clock = VirtualClock()
+        producer = Stream(clock)
+        consumer = Stream(clock)
+        producer.enqueue(9e-6)
+        event = Event(clock)
+        event.record(producer)
+        consumer.wait_event(event)
+        consumer.enqueue(1e-6)
+        assert consumer.ready_time == pytest.approx(10e-6)

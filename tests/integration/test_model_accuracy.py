@@ -1,0 +1,84 @@
+"""The performance model against the functional simulation.
+
+Section 6.3's implicit claim is that the measured-and-interpolated model is a
+good enough predictor of real send latency to pick the right method.  Here we
+check it quantitatively against this reproduction's own functional path: for
+a grid of object sizes and block lengths, the model's end-to-end estimate
+must agree with the steady-state latency actually accumulated by the
+interposed send/recv pair, within a factor that would never flip a method
+decision whose margin exceeds that factor.
+"""
+
+import pytest
+
+from repro.mpi.constructors import Type_vector
+from repro.mpi.datatype import BYTE
+from repro.mpi.world import World
+from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.interposer import interpose
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def functional_latency(object_bytes: int, block_bytes: int, method: PackMethod, summit_model) -> float:
+    """Steady-state one-way latency through the interposer (max of both ranks)."""
+
+    def program(ctx):
+        comm = interpose(ctx, TempiConfig(method=method), model=summit_model)
+        nblocks = max(1, object_bytes // block_bytes)
+        datatype = comm.Type_commit(Type_vector(nblocks, block_bytes, 2 * block_bytes, BYTE))
+        buffer = ctx.gpu.malloc(datatype.extent)
+        if ctx.rank == 0:
+            comm.Send((buffer, 1, datatype), dest=1, tag=0)
+            start = ctx.clock.now
+            comm.Send((buffer, 1, datatype), dest=1, tag=1)
+            return ctx.clock.now - start
+        comm.Recv((buffer, 1, datatype), source=0, tag=0)
+        start = ctx.clock.now
+        comm.Recv((buffer, 1, datatype), source=0, tag=1)
+        return ctx.clock.now - start
+
+    return max(World(2, ranks_per_node=1).run(program))
+
+
+GRID = [
+    (KIB, 8),
+    (64 * KIB, 8),
+    (MIB, 8),
+    (MIB, 64),
+    (4 * MIB, 256),
+]
+
+
+class TestModelTracksFunctionalLatency:
+    @pytest.mark.parametrize("object_bytes,block_bytes", GRID)
+    def test_device_estimate_within_2x(self, summit_model, object_bytes, block_bytes):
+        estimate = summit_model.estimate(object_bytes, block_bytes).device
+        measured = functional_latency(object_bytes, block_bytes, PackMethod.DEVICE, summit_model)
+        assert 0.4 < estimate / measured < 2.5
+
+    @pytest.mark.parametrize("object_bytes,block_bytes", GRID)
+    def test_oneshot_estimate_within_2x(self, summit_model, object_bytes, block_bytes):
+        estimate = summit_model.estimate(object_bytes, block_bytes).oneshot
+        measured = functional_latency(object_bytes, block_bytes, PackMethod.ONESHOT, summit_model)
+        assert 0.4 < estimate / measured < 2.5
+
+    def test_decisions_with_clear_margin_are_correct(self, summit_model):
+        """Wherever the model sees a >=2x gap between methods, forcing the
+        'wrong' method really is slower in the functional simulation."""
+        checked = 0
+        for object_bytes, block_bytes in GRID:
+            estimate = summit_model.estimate(object_bytes, block_bytes)
+            ratio = max(estimate.oneshot, estimate.device) / min(estimate.oneshot, estimate.device)
+            if ratio < 2.0:
+                continue
+            faster = estimate.best()
+            slower = (
+                PackMethod.DEVICE if faster is PackMethod.ONESHOT else PackMethod.ONESHOT
+            )
+            fast_measured = functional_latency(object_bytes, block_bytes, faster, summit_model)
+            slow_measured = functional_latency(object_bytes, block_bytes, slower, summit_model)
+            assert fast_measured < slow_measured
+            checked += 1
+        assert checked >= 1

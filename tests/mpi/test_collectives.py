@@ -1,0 +1,212 @@
+"""Tests for collective operations."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.errors import MpiArgumentError
+from repro.mpi.world import World
+
+
+@pytest.fixture
+def world4():
+    return World(4, ranks_per_node=2)
+
+
+class TestBarrier:
+    def test_barrier_aligns_clocks(self, world4):
+        def program(ctx):
+            ctx.clock.advance((ctx.rank + 1) * 1e-3)
+            ctx.comm.Barrier()
+            return ctx.clock.now
+
+        times = world4.run(program)
+        slowest = 4e-3
+        assert all(t >= slowest for t in times)
+        assert max(times) - min(times) < 1e-9
+
+    def test_barrier_single_rank(self):
+        world = World(1)
+        world.run(lambda ctx: ctx.comm.Barrier())
+
+
+class TestBcast:
+    def test_root_data_reaches_everyone(self, world4):
+        def program(ctx):
+            data = np.zeros(32, dtype=np.uint8)
+            if ctx.rank == 2:
+                data[:] = 77
+            ctx.comm.Bcast(data, root=2)
+            return int(data[0])
+
+        assert world4.run(program) == [77, 77, 77, 77]
+
+    def test_invalid_root_rejected(self):
+        world = World(2)
+
+        def program(ctx):
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Bcast(np.zeros(4, dtype=np.uint8), root=9)
+            return True
+
+        assert all(world.run(program))
+
+
+class TestObjectCollectives:
+    def test_allgather_object(self, world4):
+        def program(ctx):
+            return ctx.comm.Allgather_object({"rank": ctx.rank})
+
+        results = world4.run(program)
+        expected = [{"rank": r} for r in range(4)]
+        assert all(result == expected for result in results)
+
+    def test_allreduce_scalar_sum(self, world4):
+        def program(ctx):
+            return ctx.comm.Allreduce_scalar(float(ctx.rank + 1), op="sum")
+
+        assert world4.run(program) == [10.0, 10.0, 10.0, 10.0]
+
+    def test_allreduce_scalar_max_and_min(self, world4):
+        def program(ctx):
+            return (
+                ctx.comm.Allreduce_scalar(float(ctx.rank), op="max"),
+                ctx.comm.Allreduce_scalar(float(ctx.rank), op="min"),
+            )
+
+        results = world4.run(program)
+        assert all(result == (3.0, 0.0) for result in results)
+
+    def test_allreduce_invalid_op(self):
+        world = World(1)
+
+        def program(ctx):
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Allreduce_scalar(1.0, op="prod")
+            return True
+
+        assert all(world.run(program))
+
+
+class TestAlltoallv:
+    def test_pairwise_exchange_correct(self, world4):
+        def program(ctx):
+            n = ctx.size
+            chunk = 16
+            send = np.zeros(n * chunk, dtype=np.uint8)
+            recv = np.zeros(n * chunk, dtype=np.uint8)
+            for peer in range(n):
+                send[peer * chunk : (peer + 1) * chunk] = 10 * ctx.rank + peer
+            counts = [chunk] * n
+            displs = [peer * chunk for peer in range(n)]
+            ctx.comm.Alltoallv(send, counts, displs, recv, counts, displs)
+            for peer in range(n):
+                expected = 10 * peer + ctx.rank
+                assert (recv[peer * chunk : (peer + 1) * chunk] == expected).all()
+            return True
+
+        assert all(world4.run(program))
+
+    def test_zero_counts_skip_peers(self, world4):
+        def program(ctx):
+            n = ctx.size
+            send = np.full(8, ctx.rank, dtype=np.uint8)
+            recv = np.zeros(8, dtype=np.uint8)
+            partner = ctx.rank ^ 1
+            sendcounts = [8 if peer == partner else 0 for peer in range(n)]
+            recvcounts = [8 if peer == partner else 0 for peer in range(n)]
+            displs = [0] * n
+            ctx.comm.Alltoallv(send, sendcounts, displs, recv, recvcounts, displs)
+            assert (recv == partner).all()
+            return True
+
+        assert all(world4.run(program))
+
+    def test_argument_validation(self):
+        world = World(2)
+
+        def program(ctx):
+            send = np.zeros(4, dtype=np.uint8)
+            recv = np.zeros(4, dtype=np.uint8)
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Alltoallv(send, [4], [0], recv, [4, 0], [0, 0])
+            return True
+
+        assert all(world.run(program))
+
+    def test_clock_charged_for_exchange(self, world4):
+        def program(ctx):
+            n = ctx.size
+            chunk = 1 << 14
+            send = np.zeros(n * chunk, dtype=np.uint8)
+            recv = np.zeros(n * chunk, dtype=np.uint8)
+            counts = [chunk] * n
+            displs = [peer * chunk for peer in range(n)]
+            before = ctx.clock.now
+            ctx.comm.Alltoallv(send, counts, displs, recv, counts, displs)
+            return ctx.clock.now - before
+
+        elapsed = world4.run(program)
+        assert all(t > 0 for t in elapsed)
+
+
+class TestNeighborAlltoallv:
+    def test_ring_exchange(self):
+        world = World(4, ranks_per_node=1)
+
+        def program(ctx):
+            left = (ctx.rank - 1) % ctx.size
+            right = (ctx.rank + 1) % ctx.size
+            send = np.zeros(16, dtype=np.uint8)
+            send[:8] = ctx.rank + 1      # to the left neighbour
+            send[8:] = ctx.rank + 101    # to the right neighbour
+            recv = np.zeros(16, dtype=np.uint8)
+            ctx.comm.Neighbor_alltoallv(
+                [left, right],
+                send,
+                [8, 8],
+                [0, 8],
+                recv,
+                [8, 8],
+                [0, 8],
+            )
+            assert (recv[:8] == left + 101).all()   # left neighbour sent to its right
+            assert (recv[8:] == right + 1).all()    # right neighbour sent to its left
+            return True
+
+        assert all(world.run(program))
+
+    def test_duplicate_neighbours_rejected(self):
+        world = World(2)
+
+        def program(ctx):
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Neighbor_alltoallv(
+                    [0, 0],
+                    np.zeros(2, np.uint8),
+                    [1, 1],
+                    [0, 1],
+                    np.zeros(2, np.uint8),
+                    [1, 1],
+                    [0, 1],
+                )
+            return True
+
+        assert all(world.run(program))
+
+    def test_length_mismatch_rejected(self):
+        world = World(2)
+
+        def program(ctx):
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Neighbor_alltoallv(
+                    [0],
+                    np.zeros(2, np.uint8),
+                    [1, 1],
+                    [0, 1],
+                    np.zeros(2, np.uint8),
+                    [1, 1],
+                    [0, 1],
+                )
+            return True
+
+        assert all(world.run(program))

@@ -1,0 +1,131 @@
+"""Tests for named datatypes and the Datatype base class."""
+
+import pytest
+
+from repro.mpi.constructors import Type_contiguous
+from repro.mpi.datatype import (
+    BYTE,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT64,
+    NAMED_TYPES,
+    Combiner,
+    check_datatype,
+    check_order,
+    check_positive_count,
+    sequence_of_ints,
+)
+from repro.mpi.errors import MpiTypeError
+
+
+class TestNamedTypes:
+    def test_sizes(self):
+        assert BYTE.size == 1
+        assert CHAR.size == 1
+        assert INT.size == 4
+        assert FLOAT.size == 4
+        assert DOUBLE.size == 8
+        assert INT64.size == 8
+
+    def test_extent_equals_size(self):
+        for named in NAMED_TYPES.values():
+            assert named.extent == named.size
+            assert named.lb == 0
+            assert named.ub == named.size
+
+    def test_always_committed(self):
+        assert FLOAT.committed
+
+    def test_layout_single_block(self):
+        assert list(DOUBLE.layout()) == [(0, 8)]
+        assert DOUBLE.block_count() == 1
+
+    def test_no_children(self):
+        assert list(FLOAT.child_layout()) == []
+        assert FLOAT.is_named
+
+    def test_contiguous_bytes(self):
+        assert BYTE.is_contiguous_bytes
+        assert FLOAT.is_contiguous_bytes
+
+    def test_registry_contains_all(self):
+        assert "MPI_FLOAT" in NAMED_TYPES
+        assert NAMED_TYPES["MPI_FLOAT"] is FLOAT
+
+    def test_envelope(self):
+        combiner, contents = FLOAT.Get_envelope()
+        assert combiner is Combiner.NAMED
+        assert contents["size"] == 4
+
+
+class TestLifecycle:
+    def test_commit_and_use(self):
+        t = Type_contiguous(4, FLOAT)
+        assert not t.committed
+        t.Commit()
+        assert t.committed
+
+    def test_uncommitted_use_rejected(self):
+        t = Type_contiguous(4, FLOAT)
+        with pytest.raises(MpiTypeError):
+            t._check_committed()
+
+    def test_free_prevents_reuse(self):
+        t = Type_contiguous(4, FLOAT)
+        t.Commit()
+        t.Free()
+        with pytest.raises(MpiTypeError):
+            t.Commit()
+        with pytest.raises(MpiTypeError):
+            t._check_committed()
+
+    def test_free_clears_attachment(self):
+        t = Type_contiguous(4, FLOAT)
+        t.attachment = object()
+        t.Free()
+        assert t.attachment is None
+
+    def test_get_size_and_extent(self):
+        t = Type_contiguous(4, FLOAT)
+        assert t.Get_size() == 16
+        assert t.Get_extent() == (0, 16)
+
+    def test_handles_are_unique(self):
+        a = Type_contiguous(2, FLOAT)
+        b = Type_contiguous(2, FLOAT)
+        assert a.handle != b.handle
+
+
+class TestArgumentValidators:
+    def test_check_positive_count(self):
+        assert check_positive_count(3) == 3
+        with pytest.raises(MpiTypeError):
+            check_positive_count(0)
+        with pytest.raises(MpiTypeError):
+            check_positive_count(-1)
+        with pytest.raises(MpiTypeError):
+            check_positive_count(2.5)
+        with pytest.raises(MpiTypeError):
+            check_positive_count(True)
+
+    def test_check_datatype(self):
+        assert check_datatype(FLOAT) is FLOAT
+        with pytest.raises(MpiTypeError):
+            check_datatype("MPI_FLOAT")
+        freed = Type_contiguous(2, FLOAT)
+        freed.Free()
+        with pytest.raises(MpiTypeError):
+            check_datatype(freed)
+
+    def test_check_order(self):
+        assert check_order(0) == 0
+        assert check_order(1) == 1
+        with pytest.raises(MpiTypeError):
+            check_order(2)
+
+    def test_sequence_of_ints(self):
+        assert sequence_of_ints([1, 2, 3], "sizes") == (1, 2, 3)
+        with pytest.raises(MpiTypeError):
+            sequence_of_ints(["a"], "sizes")

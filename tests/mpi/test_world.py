@@ -1,0 +1,106 @@
+"""Tests for the threaded SPMD World runner."""
+
+import pytest
+
+from repro.gpu.cost_model import FREE_GPU
+from repro.mpi.errors import MpiError
+from repro.mpi.world import World, WorldError
+
+
+class TestConstruction:
+    def test_contexts_have_expected_shape(self):
+        world = World(4, ranks_per_node=2)
+        assert len(world.contexts) == 4
+        for rank, ctx in enumerate(world.contexts):
+            assert ctx.rank == rank
+            assert ctx.size == 4
+            assert ctx.comm.Get_rank() == rank
+            assert ctx.comm.Get_size() == 4
+
+    def test_each_rank_gets_its_own_clock(self):
+        world = World(3)
+        world.contexts[0].clock.advance(1.0)
+        assert world.contexts[1].clock.now == 0.0
+
+    def test_gpu_assignment_follows_topology(self):
+        world = World(4, ranks_per_node=2)
+        assert world.contexts[0].gpu.device.ordinal == 0
+        assert world.contexts[1].gpu.device.ordinal == 1
+        assert world.contexts[2].gpu.device.ordinal == 0
+
+    def test_invalid_rank_count_rejected(self):
+        with pytest.raises(MpiError):
+            World(0)
+
+    def test_gpu_cost_override(self):
+        world = World(1, gpu_cost=FREE_GPU)
+        assert world.contexts[0].gpu.cost is FREE_GPU
+
+
+class TestRun:
+    def test_results_ordered_by_rank(self):
+        world = World(4)
+        results = world.run(lambda ctx: ctx.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_extra_arguments_passed(self):
+        world = World(2)
+        results = world.run(lambda ctx, base: base + ctx.rank, 100)
+        assert results == [100, 101]
+
+    def test_single_rank_runs_inline(self):
+        world = World(1)
+        assert world.run(lambda ctx: ctx.rank) == [0]
+
+    def test_failure_propagates_as_world_error(self):
+        world = World(2)
+
+        def fail_on_rank_one(ctx):
+            if ctx.rank == 1:
+                raise ValueError("boom")
+            return "ok"
+
+        with pytest.raises(WorldError) as excinfo:
+            world.run(fail_on_rank_one)
+        assert 1 in excinfo.value.failures
+        assert isinstance(excinfo.value.failures[1], ValueError)
+
+    def test_failure_unblocks_matching_receive(self):
+        world = World(2)
+
+        def deadlock_unless_aborted(ctx):
+            if ctx.rank == 0:
+                ctx.comm.Recv(ctx.gpu.host_alloc(8), source=1, tag=0)
+            else:
+                raise RuntimeError("sender died")
+
+        with pytest.raises(WorldError):
+            world.run(deadlock_unless_aborted)
+
+    def test_clock_inspection(self):
+        world = World(2)
+        world.run(lambda ctx: ctx.clock.advance((ctx.rank + 1) * 1e-3))
+        assert world.max_clock() == pytest.approx(2e-3)
+        assert world.clocks[0] == pytest.approx(1e-3)
+
+    def test_reset_clocks(self):
+        world = World(2)
+        world.run(lambda ctx: ctx.clock.advance(1.0))
+        world.reset_clocks()
+        assert world.clocks == [0.0, 0.0]
+
+
+class TestBarrierHelper:
+    def test_barrier_wait_returns_global_max(self):
+        world = World(3)
+
+        def sync(ctx):
+            ctx.clock.advance((ctx.rank + 1) * 1e-3)
+            return world.barrier_wait(ctx.rank, ctx.clock.now)
+
+        results = world.run(sync)
+        assert all(r == pytest.approx(3e-3) for r in results)
+
+    def test_single_rank_barrier_is_identity(self):
+        world = World(1)
+        assert world.barrier_wait(0, 1.25) == 1.25

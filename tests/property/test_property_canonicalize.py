@@ -1,0 +1,167 @@
+"""Property-based tests of the canonicalisation pipeline.
+
+The key invariant of Sec. 3: however a strided datatype is constructed, its
+canonical Type (and the StridedBlock lowered from it) must describe exactly
+the same set of bytes as the MPI type map, and its payload size must equal
+the datatype's size.  Hypothesis builds random nested compositions of
+contiguous / vector / hvector / subarray types to check this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi import typemap
+from repro.mpi.constructors import (
+    Type_contiguous,
+    Type_create_hvector,
+    Type_create_subarray,
+    Type_vector,
+)
+from repro.mpi.datatype import BYTE, DOUBLE, FLOAT, INT, ORDER_C, ORDER_FORTRAN, Datatype
+from repro.tempi.canonicalize import simplify
+from repro.tempi.strided_block import to_strided_block
+from repro.tempi.translate import translate
+
+NAMED = (BYTE, INT, FLOAT, DOUBLE)
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+def named_types() -> st.SearchStrategy[Datatype]:
+    return st.sampled_from(NAMED)
+
+
+@st.composite
+def contiguous_types(draw, children) -> Datatype:
+    count = draw(st.integers(min_value=1, max_value=8))
+    return Type_contiguous(count, draw(children))
+
+
+@st.composite
+def vector_types(draw, children) -> Datatype:
+    child = draw(children)
+    count = draw(st.integers(min_value=1, max_value=6))
+    blocklength = draw(st.integers(min_value=1, max_value=5))
+    stride = blocklength + draw(st.integers(min_value=0, max_value=6))
+    return Type_vector(count, blocklength, stride, child)
+
+
+@st.composite
+def hvector_types(draw, children) -> Datatype:
+    child = draw(children)
+    count = draw(st.integers(min_value=1, max_value=6))
+    blocklength = draw(st.integers(min_value=1, max_value=4))
+    minimum = blocklength * child.extent
+    stride_bytes = minimum + draw(st.integers(min_value=0, max_value=32))
+    return Type_create_hvector(count, blocklength, stride_bytes, child)
+
+
+@st.composite
+def subarray_types(draw, children) -> Datatype:
+    child = draw(children)
+    ndims = draw(st.integers(min_value=1, max_value=3))
+    sizes, subsizes, starts = [], [], []
+    for _ in range(ndims):
+        size = draw(st.integers(min_value=1, max_value=6))
+        subsize = draw(st.integers(min_value=1, max_value=size))
+        start = draw(st.integers(min_value=0, max_value=size - subsize))
+        sizes.append(size)
+        subsizes.append(subsize)
+        starts.append(start)
+    order = draw(st.sampled_from([ORDER_C, ORDER_FORTRAN]))
+    return Type_create_subarray(sizes, subsizes, starts, order, child)
+
+
+def strided_datatypes(max_depth: int = 3) -> st.SearchStrategy[Datatype]:
+    return st.recursive(
+        named_types(),
+        lambda children: st.one_of(
+            contiguous_types(children),
+            vector_types(children),
+            hvector_types(children),
+            subarray_types(children),
+        ),
+        max_leaves=max_depth,
+    )
+
+
+def byte_set_from_typemap(datatype: Datatype) -> set[int]:
+    covered: set[int] = set()
+    for offset, length in typemap.flatten(datatype):
+        covered.update(range(offset, offset + length))
+    return covered
+
+
+def byte_set_from_block(block) -> set[int]:
+    covered: set[int] = set()
+    indices = [0] * block.ndims
+
+    def recurse(dim: int, base: int) -> None:
+        if dim < 0:
+            return
+        if dim == 0:
+            covered.update(range(base, base + block.counts[0]))
+            return
+        for i in range(block.counts[dim]):
+            recurse(dim - 1, base + i * block.strides[dim])
+
+    recurse(block.ndims - 1, block.start)
+    return covered
+
+
+# --------------------------------------------------------------------------- #
+# Properties
+# --------------------------------------------------------------------------- #
+
+@settings(max_examples=60, deadline=None)
+@given(strided_datatypes())
+def test_canonical_type_preserves_payload_size(datatype):
+    canonical = simplify(translate(datatype))
+    assert canonical.total_bytes() == datatype.size
+
+
+@settings(max_examples=60, deadline=None)
+@given(strided_datatypes())
+def test_strided_block_covers_exactly_the_type_map_bytes(datatype):
+    canonical = simplify(translate(datatype))
+    block = to_strided_block(canonical)
+    assert block is not None
+    assert byte_set_from_block(block) == byte_set_from_typemap(datatype)
+
+
+@settings(max_examples=60, deadline=None)
+@given(strided_datatypes())
+def test_canonicalisation_is_idempotent(datatype):
+    once = simplify(translate(datatype))
+    twice = simplify(once)
+    assert once.structure() == twice.structure()
+
+
+@settings(max_examples=60, deadline=None)
+@given(strided_datatypes())
+def test_canonical_chain_is_well_formed(datatype):
+    canonical = simplify(translate(datatype))
+    canonical.validate()
+    levels = list(canonical.levels())
+    assert levels[-1].is_dense
+    assert all(level.is_stream for level in levels[:-1])
+    # sorted by decreasing stride
+    strides = [level.data.stride for level in levels[:-1]]
+    assert strides == sorted(strides, reverse=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(strided_datatypes(), st.integers(min_value=1, max_value=3))
+def test_block_count_never_exceeds_typemap_blocks(datatype, count):
+    """The analytic block count is what the baseline engine charges per
+    memcpy; it must never be *smaller* than reality would allow merging to,
+    and for a single element it matches the merged type map exactly for the
+    strided family."""
+    flattened = len(list(typemap.flatten(datatype)))
+    assert datatype.block_count() >= 1
+    assert flattened >= 1
+    assert datatype.block_count() >= flattened or datatype.is_contiguous_bytes

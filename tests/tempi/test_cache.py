@@ -1,0 +1,101 @@
+"""Tests for the resource cache (Sec. 5)."""
+
+import pytest
+
+from repro.gpu.cost_model import SUMMIT_GPU
+from repro.gpu.memory import MemoryKind
+from repro.tempi.cache import ResourceCache
+
+
+class TestBufferCache:
+    def test_miss_allocates_and_charges_time(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        before = summit_runtime.clock.now
+        buf = cache.get_buffer(4096, MemoryKind.DEVICE)
+        assert buf.is_device
+        assert summit_runtime.clock.now - before == pytest.approx(SUMMIT_GPU.alloc_s)
+        assert cache.stats.buffer_misses == 1
+
+    def test_hit_is_free(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        buf = cache.get_buffer(4096, MemoryKind.DEVICE)
+        cache.put_buffer(buf)
+        before = summit_runtime.clock.now
+        again = cache.get_buffer(4096, MemoryKind.DEVICE)
+        assert again is buf
+        assert summit_runtime.clock.now == before
+        assert cache.stats.buffer_hits == 1
+
+    def test_disabled_cache_always_misses(self, summit_runtime):
+        cache = ResourceCache(summit_runtime, enabled=False)
+        buf = cache.get_buffer(1024, MemoryKind.DEVICE)
+        cache.put_buffer(buf)
+        again = cache.get_buffer(1024, MemoryKind.DEVICE)
+        assert again is not buf
+        assert cache.stats.buffer_hits == 0
+
+    def test_disabled_cache_frees_device_buffers(self, summit_runtime):
+        cache = ResourceCache(summit_runtime, enabled=False)
+        buf = cache.get_buffer(1024, MemoryKind.DEVICE)
+        cache.put_buffer(buf)
+        assert buf.freed
+
+    def test_pinned_host_buffers_cached_separately(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        pinned = cache.get_buffer(256, MemoryKind.HOST_PINNED)
+        cache.put_buffer(pinned)
+        mapped = cache.get_buffer(256, MemoryKind.HOST_MAPPED)
+        assert mapped is not pinned
+
+
+class TestStreamCache:
+    def test_stream_reuse(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        stream = cache.get_stream()
+        cache.put_stream(stream)
+        assert cache.get_stream() is stream
+        assert cache.stats.stream_hits == 1
+
+    def test_disabled_cache_destroys_streams(self, summit_runtime):
+        cache = ResourceCache(summit_runtime, enabled=False)
+        stream = cache.get_stream()
+        cache.put_stream(stream)
+        assert cache.get_stream() is not stream
+
+
+class TestQueryMemoisation:
+    def test_compute_called_once(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        calls = []
+        compute = lambda: calls.append(1) or 42  # noqa: E731
+        assert cache.memoize("key", compute) == 42
+        assert cache.memoize("key", compute) == 42
+        assert len(calls) == 1
+        assert cache.stats.query_hits == 1
+
+    def test_disabled_cache_recomputes(self, summit_runtime):
+        cache = ResourceCache(summit_runtime, enabled=False)
+        calls = []
+        compute = lambda: calls.append(1) or 42  # noqa: E731
+        cache.memoize("key", compute)
+        cache.memoize("key", compute)
+        assert len(calls) == 2
+
+
+class TestStatsAndClear:
+    def test_hit_rate(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        assert cache.stats.hit_rate() == 0.0
+        buf = cache.get_buffer(64, MemoryKind.DEVICE)
+        cache.put_buffer(buf)
+        cache.get_buffer(64, MemoryKind.DEVICE)
+        assert cache.stats.hit_rate() == pytest.approx(0.5)
+
+    def test_clear_and_len(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        cache.put_buffer(cache.get_buffer(64, MemoryKind.DEVICE))
+        cache.put_stream(cache.get_stream())
+        cache.memoize("x", lambda: 1)
+        assert len(cache) == 3
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,179 @@
+"""Tests for the canonicalisation passes (Sec. 3.2)."""
+
+import pytest
+
+from repro.mpi.constructors import (
+    Type_contiguous,
+    Type_create_hvector,
+    Type_create_subarray,
+    Type_vector,
+)
+from repro.mpi.datatype import BYTE, FLOAT, ORDER_C
+from repro.tempi.canonicalize import (
+    dense_folding,
+    simplify,
+    sort_streams,
+    stream_elision,
+    stream_flatten,
+)
+from repro.tempi.ir import dense, stream
+from repro.tempi.translate import translate
+
+
+class TestDenseFolding:
+    def test_folds_matching_stride(self):
+        # Stream of 10 elements, stride 4, over dense 4 bytes -> dense 40 bytes.
+        ty, changed = dense_folding(stream(10, 4, dense(4)))
+        assert changed
+        assert ty.is_dense
+        assert ty.data.extent == 40
+
+    def test_keeps_offsets(self):
+        ty, _ = dense_folding(stream(10, 4, dense(4, offset=3), offset=5))
+        assert ty.data.offset == 8
+
+    def test_does_not_fold_mismatched_stride(self):
+        ty, changed = dense_folding(stream(10, 8, dense(4)))
+        assert not changed
+        assert ty.is_stream
+
+    def test_applies_bottom_up(self):
+        # The inner pair folds even though the outer stream stays.
+        ty, changed = dense_folding(stream(3, 512, stream(10, 4, dense(4))))
+        assert changed
+        assert ty.is_stream
+        assert ty.child.is_dense
+        assert ty.child.data.extent == 40
+
+
+class TestStreamElision:
+    def test_child_stream_of_one_removed(self):
+        ty, changed = stream_elision(stream(5, 100, stream(1, 7, dense(4), offset=2)))
+        assert changed
+        assert ty.data.count == 5
+        assert ty.child.is_dense
+        assert ty.child.data.offset == 2
+
+    def test_unit_parent_removed(self):
+        ty, changed = stream_elision(stream(1, 100, dense(8), offset=4))
+        assert changed
+        assert ty.is_dense
+        assert ty.data.offset == 4
+
+    def test_non_unit_streams_untouched(self):
+        ty, changed = stream_elision(stream(5, 100, stream(2, 7, dense(3))))
+        assert not changed
+        assert ty.depth() == 3
+
+
+class TestStreamFlatten:
+    def test_chaining_strides_flatten(self):
+        # parent stride 32 == child count 8 * child stride 4.
+        ty, changed = stream_flatten(stream(3, 32, stream(8, 4, dense(2))))
+        assert changed
+        assert ty.data.count == 24
+        assert ty.data.stride == 4
+        assert ty.child.is_dense
+
+    def test_offsets_accumulate(self):
+        ty, _ = stream_flatten(stream(3, 32, stream(8, 4, dense(2), offset=6), offset=10))
+        assert ty.data.offset == 16
+
+    def test_non_chaining_strides_untouched(self):
+        ty, changed = stream_flatten(stream(3, 100, stream(8, 4, dense(2))))
+        assert not changed
+        assert ty.data.count == 3
+
+
+class TestSorting:
+    def test_streams_ordered_by_stride_descending(self):
+        out_of_order = stream(4, 16, stream(2, 512, dense(8)))
+        ty, changed = sort_streams(out_of_order)
+        assert changed
+        strides = [level.data.stride for level in ty.levels() if level.is_stream]
+        assert strides == [512, 16]
+
+    def test_already_sorted_unchanged(self):
+        ordered = stream(2, 512, stream(4, 16, dense(8)))
+        _, changed = sort_streams(ordered)
+        assert not changed
+
+    def test_short_chains_skipped(self):
+        _, changed = sort_streams(stream(4, 16, dense(8)))
+        assert not changed
+
+
+class TestSimplifyEquivalences:
+    """Equivalent MPI constructions must canonicalise to the same Type."""
+
+    def test_paper_row_constructions_agree(self):
+        e0 = 100
+        rows = [
+            Type_contiguous(e0, FLOAT),
+            Type_contiguous(e0 * 4, BYTE),
+            Type_vector(1, e0, 1, FLOAT),
+            Type_vector(e0, 4, 4, BYTE),
+            Type_create_hvector(e0 * 4, 1, 1, BYTE),
+            Type_create_subarray([512], [e0 * 4], [0], ORDER_C, BYTE),
+        ]
+        forms = {simplify(translate(t)).structure() for t in rows}
+        assert len(forms) == 1
+        assert forms.pop() == (("dense", 0, 400),)
+
+    def test_plane_constructions_agree(self):
+        e0, e1, a0 = 100, 13, 512
+        planes = [
+            Type_vector(e1, e0, a0 // 4, FLOAT),
+            Type_create_subarray([512, a0], [e1, e0 * 4], [0, 0], ORDER_C, BYTE),
+            Type_create_hvector(e1, 1, a0, Type_contiguous(e0, FLOAT)),
+        ]
+        forms = {simplify(translate(t)).structure() for t in planes}
+        assert len(forms) == 1
+
+    def test_cuboid_constructions_agree(self):
+        e = (100, 13, 47)
+        a = (512, 512, 1024)
+        cuboids = [
+            Type_create_subarray(
+                [a[2], a[1], a[0]], [e[2], e[1], e[0] * 4], [0, 0, 0], ORDER_C, BYTE
+            ),
+            Type_create_hvector(
+                e[2], 1, a[0] * a[1], Type_vector(e[1], e[0], a[0] // 4, FLOAT)
+            ),
+            Type_create_hvector(
+                e[2],
+                1,
+                a[0] * a[1],
+                Type_create_hvector(e[1], 1, a[0], Type_contiguous(e[0], FLOAT)),
+            ),
+        ]
+        forms = {simplify(translate(t)).structure() for t in cuboids}
+        assert len(forms) == 1
+
+    def test_fully_contiguous_subarray_reduces_to_dense(self):
+        t = Type_create_subarray([8, 16], [8, 16], [0, 0], ORDER_C, BYTE)
+        canon = simplify(translate(t))
+        assert canon.is_dense
+        assert canon.data.extent == 128
+
+    def test_simplify_preserves_total_bytes(self):
+        t = Type_create_subarray([16, 8, 64], [7, 3, 24], [2, 1, 8], ORDER_C, BYTE)
+        assert simplify(translate(t)).total_bytes() == t.size
+
+    def test_simplify_does_not_mutate_input(self):
+        ty = translate(Type_contiguous(10, FLOAT))
+        before = ty.structure()
+        simplify(ty)
+        assert ty.structure() == before
+
+    def test_offsets_preserved_for_offset_subarray(self):
+        t = Type_create_subarray([8, 64], [2, 16], [3, 8], ORDER_C, BYTE)
+        canon = simplify(translate(t))
+        offsets = sum(level.data.offset for level in canon.levels())
+        assert offsets == 3 * 64 + 8
+
+    def test_idempotent(self):
+        t = Type_create_subarray([16, 8, 64], [7, 3, 24], [0, 0, 0], ORDER_C, BYTE)
+        once = simplify(translate(t))
+        twice = simplify(once)
+        assert once.structure() == twice.structure()

@@ -1,0 +1,106 @@
+"""Fallback behaviour of the interposer for datatypes TEMPI does not handle.
+
+The paper lists indexed/struct handling as future work: TEMPI commits them
+without a handler and every later operation falls through to the system MPI's
+block-list path.  These tests pin that behaviour down, because it is what
+keeps the interposer safe to deploy under arbitrary applications.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpi.constructors import Type_create_struct, Type_indexed, Type_vector
+from repro.mpi.datatype import BYTE, DOUBLE, FLOAT, INT
+from repro.mpi.world import World
+from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.interposer import TempiCommunicator, interpose
+
+
+class TestIndexedFallback:
+    def test_pack_still_correct(self, summit_model):
+        world = World(1)
+        ctx = world.contexts[0]
+        comm = interpose(ctx, model=summit_model)
+        t = comm.Type_commit(Type_indexed([2, 1, 3], [0, 5, 10], FLOAT))
+        src = ctx.gpu.malloc(t.extent)
+        src.data[:] = np.arange(src.nbytes, dtype=np.uint8)
+        dst = ctx.gpu.malloc(t.size)
+        comm.Pack((src, 1, t), dst, 0)
+        expected = np.concatenate([src.data[0:8], src.data[20:24], src.data[40:52]])
+        assert np.array_equal(dst.data, expected)
+        # no TEMPI kernel was used for the fallback type
+        assert comm.stats.packs == 0
+        assert comm.stats.fallbacks >= 1
+
+    def test_send_recv_still_correct(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = comm.Type_commit(Type_indexed([2, 2], [0, 4], INT))
+            buf = ctx.gpu.malloc(t.extent)
+            if ctx.rank == 0:
+                buf.data[:] = np.arange(buf.nbytes, dtype=np.uint8)
+                comm.Send((buf, 1, t), dest=1)
+                return buf.data.copy()
+            comm.Recv((buf, 1, t), source=0)
+            return buf.data.copy()
+
+        sent, received = World(2, ranks_per_node=1).run(program)
+        assert np.array_equal(received[0:8], sent[0:8])
+        assert np.array_equal(received[16:24], sent[16:24])
+
+    def test_struct_fallback_reason_recorded(self, summit_model):
+        world = World(1)
+        comm = interpose(world.contexts[0], model=summit_model)
+        t = comm.Type_commit(Type_create_struct([1, 1], [0, 16], [INT, DOUBLE]))
+        handler = TempiCommunicator.handler_of(t)
+        assert handler is not None and not handler.accelerated
+        assert handler.fallback_reason
+
+
+class TestDisabledHandling:
+    def test_send_handling_off_uses_baseline_path(self, summit_model):
+        config = TempiConfig(send_handling=False)
+
+        def program(ctx):
+            comm = interpose(ctx, config, model=summit_model)
+            t = comm.Type_commit(Type_vector(64, 8, 64, BYTE))
+            buf = ctx.gpu.malloc(t.extent)
+            if ctx.rank == 0:
+                buf.data[:] = 7
+                comm.Send((buf, 1, t), dest=1)
+            else:
+                comm.Recv((buf, 1, t), source=0)
+                for i in range(64):
+                    assert (buf.data[i * 64 : i * 64 + 8] == 7).all()
+            return comm.stats.sends
+
+        sends = World(2, ranks_per_node=1).run(program)
+        assert sends == [0, 0]
+
+    def test_datatype_handling_off_still_commits(self, summit_model):
+        world = World(1)
+        comm = interpose(
+            world.contexts[0], TempiConfig(datatype_handling=False), model=summit_model
+        )
+        t = comm.Type_commit(Type_vector(4, 4, 8, BYTE))
+        assert t.committed
+        assert TempiCommunicator.handler_of(t) is None
+
+    def test_forced_staged_method_works_end_to_end(self, summit_model):
+        config = TempiConfig(method=PackMethod.STAGED)
+
+        def program(ctx):
+            comm = interpose(ctx, config, model=summit_model)
+            t = comm.Type_commit(Type_vector(128, 16, 64, BYTE))
+            buf = ctx.gpu.malloc(t.extent)
+            if ctx.rank == 0:
+                buf.data[:] = np.arange(buf.nbytes, dtype=np.uint16).astype(np.uint8)
+                comm.Send((buf, 1, t), dest=1)
+                return buf.data.copy()
+            comm.Recv((buf, 1, t), source=0)
+            return buf.data.copy()
+
+        sent, received = World(2, ranks_per_node=1).run(program)
+        for i in range(128):
+            begin = i * 64
+            assert np.array_equal(received[begin : begin + 16], sent[begin : begin + 16])

@@ -1,0 +1,108 @@
+"""Tests for the system-measurement sweep."""
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import SUMMIT
+from repro.tempi.measurement import (
+    DEFAULT_BLOCKS,
+    DEFAULT_SIZES,
+    SystemMeasurement,
+    measure_system,
+)
+
+
+@pytest.fixture(scope="module")
+def small_measurement():
+    return measure_system(
+        SUMMIT, sizes=[64, 1024, 65536, 1 << 20], block_lengths=[1, 8, 64, 512]
+    )
+
+
+class TestSweepShape:
+    def test_curve_lengths_match_sizes(self, small_measurement):
+        m = small_measurement
+        assert len(m.t_cpu_cpu) == len(m.sizes)
+        assert len(m.t_gpu_gpu) == len(m.sizes)
+        assert len(m.t_d2h) == len(m.sizes)
+        assert len(m.t_h2d) == len(m.sizes)
+
+    def test_tables_are_block_by_size(self, small_measurement):
+        m = small_measurement
+        assert len(m.t_pack_device) == len(m.block_lengths)
+        assert all(len(row) == len(m.sizes) for row in m.t_pack_device)
+
+    def test_machine_name_recorded(self, small_measurement):
+        assert small_measurement.machine_name == SUMMIT.name
+
+    def test_default_sweep_dimensions(self):
+        assert DEFAULT_SIZES[0] == 1
+        assert DEFAULT_SIZES[-1] == 4 * 1024 * 1024
+        assert 512 in DEFAULT_BLOCKS
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            measure_system(SUMMIT, sizes=[], block_lengths=[1])
+        with pytest.raises(ValueError):
+            measure_system(SUMMIT, sizes=[0], block_lengths=[1])
+        with pytest.raises(ValueError):
+            measure_system(SUMMIT, sizes=[8], block_lengths=[-1])
+
+
+class TestMeasuredShapes:
+    """The qualitative features of Fig. 9a / Fig. 10 must hold."""
+
+    def test_cpu_floor_below_gpu_floor(self, small_measurement):
+        assert small_measurement.t_cpu_cpu[0] < small_measurement.t_gpu_gpu[0]
+
+    def test_transfer_times_monotonic_in_size(self, small_measurement):
+        for curve in (
+            small_measurement.t_cpu_cpu,
+            small_measurement.t_gpu_gpu,
+            small_measurement.t_d2h,
+            small_measurement.t_h2d,
+        ):
+            assert list(curve) == sorted(curve)
+
+    def test_pack_latency_decreases_with_block_length(self, small_measurement):
+        m = small_measurement
+        size_index = list(m.sizes).index(1 << 20)
+        per_block = [row[size_index] for row in m.t_pack_device]
+        assert per_block[0] > per_block[-1]
+
+    def test_unpack_slower_than_pack(self, small_measurement):
+        m = small_measurement
+        pack = np.asarray(m.t_pack_device)
+        unpack = np.asarray(m.t_unpack_device)
+        assert (unpack >= pack).all()
+
+    def test_oneshot_pack_slower_per_byte_than_device_for_large_blocks(
+        self, small_measurement
+    ):
+        m = small_measurement
+        block_index = list(m.block_lengths).index(512)
+        size_index = list(m.sizes).index(1 << 20)
+        assert m.t_pack_oneshot[block_index][size_index] > m.t_pack_device[block_index][size_index]
+
+
+class TestSerialisation:
+    def test_roundtrip_dict(self, small_measurement):
+        clone = SystemMeasurement.from_dict(small_measurement.to_dict())
+        assert clone.sizes == small_measurement.sizes
+        assert clone.t_pack_device == small_measurement.t_pack_device
+
+    def test_save_and_load(self, small_measurement, tmp_path):
+        path = small_measurement.save(tmp_path / "measurement.json")
+        loaded = SystemMeasurement.load(path)
+        assert loaded.machine_name == small_measurement.machine_name
+        assert loaded.t_cpu_cpu == small_measurement.t_cpu_cpu
+
+    def test_measure_system_writes_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        measure_system(SUMMIT, sizes=[64, 1024], block_lengths=[8], path=path)
+        assert path.exists()
+
+    def test_as_arrays(self, small_measurement):
+        arrays = small_measurement.as_arrays()
+        assert arrays["t_pack_device"].shape == (4, 4)
+        assert arrays["sizes"].dtype == np.float64

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMeasureCommand:
+    def test_writes_measurement_file(self, tmp_path, capsys):
+        output = tmp_path / "m.json"
+        assert main(["measure", "--output", str(output)]) == 0
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert payload["machine_name"] == "summit-like"
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestPredictCommand:
+    def test_predict_from_measurement_file(self, tmp_path, capsys):
+        output = tmp_path / "m.json"
+        main(["measure", "--output", str(output)])
+        code = main(
+            ["predict", "--measurement", str(output), "--size", str(1 << 20), "--block", "8"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "T_oneshot" in out and "T_device" in out and "selected method" in out
+        assert "device" in out or "oneshot" in out
+
+    def test_small_object_selects_oneshot(self, tmp_path, capsys):
+        output = tmp_path / "m.json"
+        main(["measure", "--output", str(output)])
+        main(["predict", "--measurement", str(output), "--size", "1024", "--block", "8"])
+        assert "selected method : oneshot" in capsys.readouterr().out
+
+    def test_invalid_arguments_return_error(self, capsys):
+        assert main(["predict", "--size", "0", "--block", "8"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+
+class TestHaloCommand:
+    def test_paper_scale_point(self, capsys):
+        assert main(["halo", "--nodes", "8", "--ranks-per-node", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "48 ranks" in out
+        assert "speedup" in out
+
+    def test_custom_domain(self, capsys):
+        assert main(["halo", "--nodes", "2", "--ranks-per-node", "2", "--points", "64"]) == 0
+        assert "64^3 points/rank" in capsys.readouterr().out
+
+    def test_invalid_scale_rejected(self, capsys):
+        assert main(["halo", "--nodes", "0"]) == 2
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

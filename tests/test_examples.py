@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion and prints its tables.
+
+The examples are part of the public deliverable, so they are executed here
+exactly as a user would run them (as ``__main__`` modules); each one already
+asserts its own correctness conditions internally (byte-identical packs,
+verified ghost regions, selection accuracy).
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    "quickstart.py",
+    "datatype_zoo.py",
+    "system_measurement.py",
+    "ping_pong_methods.py",
+    "stencil_halo_exchange.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, tmp_path, monkeypatch):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example {script} is missing"
+    # system_measurement.py writes its JSON next to itself; run it from a
+    # scratch directory copy so the repository stays clean.
+    if script == "system_measurement.py":
+        scratch = tmp_path / script
+        scratch.write_text(path.read_text())
+        path = scratch
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert len(output.splitlines()) > 3
+
+
+def test_examples_directory_has_quickstart_plus_domain_examples():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3
