@@ -25,6 +25,11 @@ DIRECTIONS: tuple[tuple[int, int, int], ...] = tuple(
 )
 
 
+def negate(direction: tuple[int, int, int]) -> tuple[int, int, int]:
+    """The opposite stencil direction (the one a neighbour sends back along)."""
+    return (-direction[0], -direction[1], -direction[2])
+
+
 @dataclass(frozen=True)
 class HaloSpec:
     """Geometry of one rank's sub-domain.
@@ -209,3 +214,32 @@ class RankGrid:
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.nranks:
             raise ValueError(f"rank {rank} outside grid of {self.nranks}")
+
+
+def neighbor_sections(
+    grid: RankGrid, rank: int
+) -> tuple[list[tuple[tuple[int, int, int], int]], list[tuple[tuple[int, int, int], int]]]:
+    """Ordered ``(direction, peer)`` section lists for the neighbour collective.
+
+    The typed ``Neighbor_alltoallv`` concatenates the sections of one peer in
+    list order, so the two endpoints of every pair must agree on that order
+    even when several directions map to the same peer (periodic grids smaller
+    than 3x3x3).  A section sent along ``d`` arrives as the receiver's ghost
+    slab in direction ``-d``, so listing send sections by direction and
+    receive sections by *negated* direction makes both sides enumerate each
+    pair's sections identically — the same convention the packed layout of
+    :class:`repro.apps.stencil.HaloExchange` uses for its displacements.
+    """
+    send_to: dict[int, list[tuple[int, int, int]]] = {}
+    recv_from: dict[int, list[tuple[int, int, int]]] = {}
+    for direction, peer in grid.neighbors(rank):
+        send_to.setdefault(peer, []).append(direction)
+        recv_from.setdefault(peer, []).append(direction)
+    send_order = []
+    recv_order = []
+    for peer in sorted(send_to):
+        for direction in sorted(send_to[peer]):
+            send_order.append((direction, peer))
+        for direction in sorted(recv_from[peer], key=negate):
+            recv_order.append((direction, peer))
+    return send_order, recv_order

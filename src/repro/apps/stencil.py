@@ -1,12 +1,21 @@
 """Functional 3-D stencil halo exchange (Sec. 6.4).
 
-This is the application exactly as the paper describes it: every rank
-describes each of its 26 halo regions with a derived datatype, packs them
-with ``MPI_Pack`` into a single send buffer, exchanges that buffer with an
-all-to-all-v, and unpacks the 26 ghost regions with ``MPI_Unpack``.  The
-communicator it runs against decides whether the datatype handling is the
-system MPI's per-block baseline or TEMPI's kernels — the application code is
-identical, which is the whole point of the interposer.
+This is the application exactly as the paper describes it, in two variants
+selected by ``mode``:
+
+* ``"packed"`` — every rank describes each of its 26 halo regions with a
+  derived datatype, packs them with ``MPI_Pack`` into a single send buffer,
+  exchanges that buffer with a byte all-to-all-v, and unpacks the 26 ghost
+  regions with ``MPI_Unpack``;
+* ``"neighbor"`` — the hand-rolled pack/unpack loops disappear: the rank
+  hands the 26 datatypes straight to the datatype-carrying
+  ``Neighbor_alltoallv``, and the communicator's collective does the packing
+  — per-block baseline copies on the system MPI, one kernel per destination
+  under TEMPI's interposer.
+
+Either way the communicator it runs against decides whether the datatype
+handling is the system MPI's per-block baseline or TEMPI's kernels — the
+application code is identical, which is the whole point of the interposer.
 
 Run it on a :class:`~repro.mpi.world.World` with a modest grid for functional
 verification; use :mod:`repro.apps.exchange_model` for the paper-scale
@@ -19,7 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.apps.halo import DIRECTIONS, HaloSpec, RankGrid
+from repro.apps.halo import DIRECTIONS, HaloSpec, RankGrid, negate, neighbor_sections
 from repro.mpi import typemap
 from repro.mpi.datatype import Datatype
 
@@ -49,17 +58,26 @@ def aggregate_timings(timings: list[HaloTiming]) -> HaloTiming:
     )
 
 
-def _negate(direction: tuple[int, int, int]) -> tuple[int, int, int]:
-    return (-direction[0], -direction[1], -direction[2])
-
-
 class HaloExchange:
     """One rank's state for the halo exchange."""
 
-    def __init__(self, ctx, comm, spec: HaloSpec, *, grid: RankGrid | None = None) -> None:
+    MODES = ("packed", "neighbor")
+
+    def __init__(
+        self,
+        ctx,
+        comm,
+        spec: HaloSpec,
+        *,
+        grid: RankGrid | None = None,
+        mode: str = "packed",
+    ) -> None:
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
         self.ctx = ctx
         self.comm = comm
         self.spec = spec
+        self.mode = mode
         self.grid = grid if grid is not None else RankGrid.for_ranks(comm.Get_size())
         if self.grid.nranks != comm.Get_size():
             raise ValueError(
@@ -76,9 +94,11 @@ class HaloExchange:
             self.recv_types[direction] = comm.Type_commit(spec.recv_datatype(direction))
 
         self._build_layout()
-        total = sum(spec.halo_bytes(d) for d in DIRECTIONS)
-        self.sendbuf = ctx.gpu.malloc(total)
-        self.recvbuf = ctx.gpu.malloc(total)
+        self._build_neighbor_layout()
+        if mode == "packed":
+            total = sum(spec.halo_bytes(d) for d in DIRECTIONS)
+            self.sendbuf = ctx.gpu.malloc(total)
+            self.recvbuf = ctx.gpu.malloc(total)
 
     # ------------------------------------------------------------------ layout
     def _build_layout(self) -> None:
@@ -99,7 +119,7 @@ class HaloExchange:
             recv_dirs_from.setdefault(peer, []).append(direction)
         for peer in send_dirs_to:
             send_dirs_to[peer].sort()
-            recv_dirs_from[peer].sort(key=_negate)
+            recv_dirs_from[peer].sort(key=negate)
 
         self.sendcounts = [0] * size
         self.senddispls = [0] * size
@@ -124,6 +144,19 @@ class HaloExchange:
                 nbytes = spec.halo_bytes(direction)
                 self.recvcounts[peer] += nbytes
                 cursor += nbytes
+
+    def _build_neighbor_layout(self) -> None:
+        """Section lists for the datatype-carrying neighbour collective.
+
+        Each of the 26 sections is one subarray datatype of the local
+        allocation (count 1, displacement 0); the ordering convention that
+        keeps both endpoints of a pair in agreement lives in
+        :func:`repro.apps.halo.neighbor_sections`.
+        """
+        send_order, recv_order = neighbor_sections(self.grid, self.rank)
+        self.neighbor_peers = [peer for _, peer in send_order]
+        self.neighbor_sendtypes = [self.send_types[d] for d, _ in send_order]
+        self.neighbor_recvtypes = [self.recv_types[d] for d, _ in recv_order]
 
     # ------------------------------------------------------------------- data
     def fill_interior(self, value: int | None = None) -> int:
@@ -174,7 +207,13 @@ class HaloExchange:
 
     # --------------------------------------------------------------- exchange
     def exchange(self) -> HaloTiming:
-        """One halo exchange; returns this rank's per-phase virtual times."""
+        """One halo exchange; returns this rank's per-phase virtual times.
+
+        In ``"neighbor"`` mode packing happens inside the collective, so the
+        whole exchange is reported as communication time.
+        """
+        if self.mode == "neighbor":
+            return self._exchange_neighbor()
         comm = self.comm
         clock = self.ctx.clock
 
@@ -214,6 +253,29 @@ class HaloExchange:
             comm_s=comm_end - pack_end,
             unpack_s=unpack_end - comm_end,
         )
+
+    def _exchange_neighbor(self) -> HaloTiming:
+        """One exchange through the datatype-carrying neighbour collective."""
+        comm = self.comm
+        clock = self.ctx.clock
+        ones = [1] * len(self.neighbor_peers)
+        zeros = [0] * len(self.neighbor_peers)
+
+        comm.Barrier()
+        start = clock.now
+        comm.Neighbor_alltoallv(
+            self.neighbor_peers,
+            self.local,
+            ones,
+            zeros,
+            self.local,
+            ones,
+            zeros,
+            sendtypes=self.neighbor_sendtypes,
+            recvtypes=self.neighbor_recvtypes,
+        )
+        comm.Barrier()
+        return HaloTiming(pack_s=0.0, comm_s=clock.now - start, unpack_s=0.0)
 
     def run(self, iterations: int = 1, *, verify: bool = False) -> list[HaloTiming]:
         """Run several exchanges (optionally verifying ghost contents each time)."""

@@ -365,11 +365,35 @@ class Communicator:
         recvbuf: BufferLike,
         recvcounts: Sequence[int],
         recvdispls: Sequence[int],
+        *,
+        sendtypes: Optional[_collectives.TypesArg] = None,
+        recvtypes: Optional[_collectives.TypesArg] = None,
     ) -> None:
-        """``MPI_Alltoallv`` on byte buffers."""
-        _collectives.alltoallv(
-            self, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
-        )
+        """``MPI_Alltoallv``.
+
+        Without ``sendtypes``/``recvtypes`` the counts and displacements are
+        raw byte ranges of pre-packed buffers.  With datatypes the counts are
+        elements and each section is packed/unpacked by the baseline engine —
+        the datatype-carrying signature TEMPI's interposer accelerates.
+        """
+        if (sendtypes is None) != (recvtypes is None):
+            raise MpiArgumentError("sendtypes and recvtypes must be given together")
+        if sendtypes is None:
+            _collectives.alltoallv(
+                self, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
+            )
+        else:
+            _collectives.alltoallv_typed(
+                self,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                sendtypes,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                recvtypes,
+            )
 
     def Neighbor_alltoallv(
         self,
@@ -380,11 +404,35 @@ class Communicator:
         recvbuf: BufferLike,
         recvcounts: Sequence[int],
         recvdispls: Sequence[int],
+        *,
+        sendtypes: Optional[_collectives.TypesArg] = None,
+        recvtypes: Optional[_collectives.TypesArg] = None,
     ) -> None:
-        """``MPI_Neighbor_alltoallv`` over an explicit neighbour list."""
-        _collectives.neighbor_alltoallv(
-            self, neighbors, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
-        )
+        """``MPI_Neighbor_alltoallv`` over an explicit neighbour list.
+
+        The datatype-carrying form (``sendtypes``/``recvtypes`` given) allows
+        duplicate neighbours; sections of one pair travel concatenated in
+        list order.
+        """
+        if (sendtypes is None) != (recvtypes is None):
+            raise MpiArgumentError("sendtypes and recvtypes must be given together")
+        if sendtypes is None:
+            _collectives.neighbor_alltoallv(
+                self, neighbors, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
+            )
+        else:
+            _collectives.neighbor_alltoallv_typed(
+                self,
+                neighbors,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                sendtypes,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                recvtypes,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Communicator rank {self.rank}/{self.size} ctx={self.context}>"

@@ -17,6 +17,22 @@ simulated substrates:
    exports the same call surface as the system MPI
    (:class:`repro.mpi.communicator.Communicator`), overriding exactly the calls
    TEMPI accelerates and forwarding everything else.
+
+Beyond the paper, the interposer also accelerates the **datatype-carrying
+collectives**: ``Alltoallv`` and ``Neighbor_alltoallv`` called with
+``sendtypes``/``recvtypes`` pack each destination's sections with one kernel
+through the commit-time :class:`~repro.tempi.packer.Packer`, stage them in
+per-peer buffers held by the :class:`~repro.tempi.cache.ResourceCache`
+(``get_persistent``), and pick *one-shot* / *device* / *staged* per message
+from the :class:`~repro.tempi.perf_model.PerformanceModel`
+(:func:`repro.tempi.methods.alltoallv_packed`,
+:func:`repro.tempi.methods.neighbor_packed`).  Contiguous or uncommitted
+datatypes, host buffers and the byte signature fall back to the system path,
+counted by :class:`~repro.tempi.interposer.InterposerStats`
+(``collective_hits`` / ``collective_fallbacks``).  The halo-exchange
+application (:mod:`repro.apps.stencil`, ``mode="neighbor"``) rides this path
+instead of its hand-rolled pack/exchange/unpack loops;
+``benchmarks/bench_fig13_alltoallv.py`` measures it against the baseline.
 """
 
 from repro.tempi.canonicalize import canonicalize, simplify

@@ -29,10 +29,19 @@ class CacheStats:
     stream_misses: int = 0
     query_hits: int = 0
     query_misses: int = 0
+    #: Keyed (per-peer collective staging) buffers, reused across iterations.
+    persistent_hits: int = 0
+    persistent_misses: int = 0
 
     def hit_rate(self) -> float:
-        hits = self.buffer_hits + self.stream_hits + self.query_hits
-        total = hits + self.buffer_misses + self.stream_misses + self.query_misses
+        hits = self.buffer_hits + self.stream_hits + self.query_hits + self.persistent_hits
+        total = (
+            hits
+            + self.buffer_misses
+            + self.stream_misses
+            + self.query_misses
+            + self.persistent_misses
+        )
         return hits / total if total else 0.0
 
 
@@ -46,6 +55,7 @@ class ResourceCache:
         self._pool = MemoryPool()
         self._streams: list[Stream] = []
         self._queries: dict[Hashable, object] = {}
+        self._persistent: dict[Hashable, Buffer] = {}
 
     # ---------------------------------------------------------------- buffers
     def get_buffer(self, nbytes: int, kind: MemoryKind) -> Buffer:
@@ -70,6 +80,28 @@ class ResourceCache:
             self._pool.release(buffer)
         elif buffer.is_device:
             self.runtime.free(buffer)
+
+    def get_persistent(self, key: Hashable, nbytes: int, kind: MemoryKind) -> Buffer:
+        """A keyed staging buffer held by the cache itself (not checked out).
+
+        Collectives stage one segment per peer, every iteration, with stable
+        sizes — exactly the reuse pattern that makes per-peer keys win over
+        the size-bucketed pool: the buffer stays bound to its key, so an
+        iterative application's second exchange performs zero acquisitions.
+        A buffer too small (or of the wrong kind) for its key is replaced
+        through the pool, which charges the allocation latency.
+        """
+        cached = self._persistent.get(key) if self.enabled else None
+        if cached is not None and cached.nbytes >= nbytes and cached.kind is kind:
+            self.stats.persistent_hits += 1
+            return cached
+        self.stats.persistent_misses += 1
+        if cached is not None:
+            self._pool.release(cached)
+        fresh = self.get_buffer(nbytes, kind)
+        if self.enabled:
+            self._persistent[key] = fresh
+        return fresh
 
     # ---------------------------------------------------------------- streams
     def get_stream(self) -> Stream:
@@ -104,6 +136,7 @@ class ResourceCache:
         self._pool.clear()
         self._streams.clear()
         self._queries.clear()
+        self._persistent.clear()
 
     def __len__(self) -> int:
-        return len(self._pool) + len(self._streams) + len(self._queries)
+        return len(self._pool) + len(self._streams) + len(self._queries) + len(self._persistent)

@@ -9,7 +9,8 @@ structure with plain object composition:
 * :class:`TempiCommunicator` exposes the same call surface as
   :class:`repro.mpi.communicator.Communicator`;
 * the calls TEMPI accelerates (``Type_commit``, ``Pack``, ``Unpack``,
-  ``Send``, ``Recv``) are overridden here;
+  ``Send``, ``Recv``, and the datatype-carrying ``Alltoallv`` /
+  ``Neighbor_alltoallv``) are overridden here;
 * every other attribute falls through to the underlying communicator via
   ``__getattr__`` — the analogue of unresolved symbols binding to the system
   MPI.
@@ -26,7 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from typing import Sequence
+
 from repro.gpu.memory import Buffer
+from repro.mpi import collectives as _collectives
 from repro.mpi.communicator import Communicator, as_buffer
 from repro.mpi.datatype import Datatype
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
@@ -84,6 +88,10 @@ class InterposerStats:
     sends: int = 0
     recvs: int = 0
     fallbacks: int = 0
+    #: Typed collectives taken over by the interposer vs handed back to the
+    #: system MPI (one count per collective call, not per message).
+    collective_hits: int = 0
+    collective_fallbacks: int = 0
     method_counts: dict = field(default_factory=dict)
 
 
@@ -312,6 +320,186 @@ class TempiCommunicator:
             source,
             tag,
             status,
+        )
+
+    # ------------------------------------------------------------- collectives
+    def _collective_sections(
+        self,
+        buffer: Buffer,
+        peers: Sequence[int],
+        counts: Sequence[int],
+        displs: Sequence[int],
+        types,
+        what: str,
+    ) -> Optional[tuple[list[methods.PackedSection], list[TypeHandler]]]:
+        """Build the packed-section plan of one typed-collective side.
+
+        Arguments are validated with the system path's own checks first, so
+        invalid calls raise the same MPI errors whichever path runs.  Returns
+        ``None`` (fall back to the system path) unless every nonzero section
+        carries a committed datatype whose handler holds a non-contiguous
+        packer — the family the kernels accelerate — and the user buffer is
+        device resident.
+        """
+        if not buffer.is_device:
+            return None
+        validated = _collectives.build_sections(
+            self._comm, buffer, peers, counts, displs, types, what
+        )
+        sections = []
+        handlers = []
+        for section in validated:
+            if section.count == 0:
+                continue
+            handler = self.handler_of(section.datatype)
+            if handler is None or not handler.accelerated or handler.packer.block.is_contiguous:
+                return None
+            handlers.append(handler)
+            sections.append(
+                methods.PackedSection(section.peer, section.count, section.displ, handler.packer)
+            )
+        return sections, handlers
+
+    def _packed_collective(
+        self,
+        engine,
+        system_call,
+        peers: Sequence[int],
+        sendbuf,
+        sendcounts,
+        senddispls,
+        sendtypes,
+        recvbuf,
+        recvcounts,
+        recvdispls,
+        recvtypes,
+    ) -> None:
+        """Common accelerate-or-fall-back logic of the two typed collectives."""
+        if sendtypes is None or recvtypes is None:
+            # The byte signature (or a half-specified typed one, which the
+            # system path rejects) is not TEMPI's business.
+            system_call()
+            return
+        if not (self.config.enabled and self.config.datatype_handling):
+            system_call()
+            return
+        send = as_buffer(sendbuf)
+        recv = as_buffer(recvbuf)
+        send_plan = self._collective_sections(
+            send, peers, sendcounts, senddispls, sendtypes, "send"
+        )
+        recv_plan = (
+            self._collective_sections(recv, peers, recvcounts, recvdispls, recvtypes, "recv")
+            if send_plan is not None
+            else None
+        )
+        if send_plan is None or recv_plan is None:
+            self.tempi.stats.collective_fallbacks += 1
+            system_call()
+            return
+        send_sections, send_handlers = send_plan
+        recv_sections, recv_handlers = recv_plan
+        if not (send_sections or recv_sections):
+            self.tempi.stats.collective_fallbacks += 1
+            system_call()
+            return
+        # Both sides confirmed accelerable: only now count the handler uses.
+        for handler in send_handlers + recv_handlers:
+            handler.uses += 1
+        self._charge_interposition_overhead()
+        self.tempi.stats.collective_hits += 1
+        counts = engine(
+            self._comm,
+            self.tempi.cache,
+            self._select_method,
+            send,
+            send_sections,
+            recv,
+            recv_sections,
+        )
+        for name, hits in counts.items():
+            self.tempi.stats.method_counts[name] = (
+                self.tempi.stats.method_counts.get(name, 0) + hits
+            )
+
+    def Alltoallv(
+        self,
+        sendbuf,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtypes=None,
+        recvtypes=None,
+    ) -> None:
+        """``MPI_Alltoallv`` with datatype acceleration (Sec. 5, extended).
+
+        The datatype-carrying form packs each destination's sections with one
+        kernel through the commit-time packer and stages them per the model's
+        per-message method choice; the byte form, contiguous or uncommitted
+        datatypes, and host buffers all fall through to the system MPI.
+        """
+        self._packed_collective(
+            methods.alltoallv_packed,
+            lambda: self._comm.Alltoallv(
+                sendbuf,
+                sendcounts,
+                senddispls,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtypes=sendtypes,
+                recvtypes=recvtypes,
+            ),
+            list(range(self._comm.size)),
+            sendbuf,
+            sendcounts,
+            senddispls,
+            sendtypes,
+            recvbuf,
+            recvcounts,
+            recvdispls,
+            recvtypes,
+        )
+
+    def Neighbor_alltoallv(
+        self,
+        neighbors: Sequence[int],
+        sendbuf,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtypes=None,
+        recvtypes=None,
+    ) -> None:
+        """``MPI_Neighbor_alltoallv`` accelerated symmetrically to :meth:`Alltoallv`."""
+        self._packed_collective(
+            methods.neighbor_packed,
+            lambda: self._comm.Neighbor_alltoallv(
+                neighbors,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtypes=sendtypes,
+                recvtypes=recvtypes,
+            ),
+            list(neighbors),
+            sendbuf,
+            sendcounts,
+            senddispls,
+            sendtypes,
+            recvbuf,
+            recvcounts,
+            recvdispls,
+            recvtypes,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -23,14 +23,21 @@ its own (identical) model query, as in the paper.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
 
 from repro.gpu.memory import MemoryKind
+from repro.mpi.collectives import _next_collective_tag, _post_raw, _receive_raw
 from repro.mpi.datatype import BYTE
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
 from repro.tempi.cache import ResourceCache
 from repro.tempi.config import PackMethod
 from repro.tempi.packer import Packer
+
+#: The interposer's per-message method policy: ``(packer, nbytes) -> method``.
+#: Routing it through a callback keeps the model-query overhead accounting
+#: (and its memoisation) in the interposer, where the paper charges it.
+MethodSelector = Callable[[Packer, int], PackMethod]
 
 
 class MethodError(RuntimeError):
@@ -105,6 +112,254 @@ def recv_packed(
         return result
     finally:
         cache.put_buffer(staging)
+
+
+# --------------------------------------------------------------------------- #
+# Packed collectives (the interposed all-to-all-v family)
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PackedSection:
+    """One section of an interposed typed collective.
+
+    ``count`` objects of a committed, accelerated datatype starting ``displ``
+    bytes into the user buffer, bound to the :class:`Packer` its commit-time
+    handler cached.  Sections addressed to one peer travel concatenated in
+    section order — the same wire layout as the system path, so the two are
+    interchangeable message-for-message.
+    """
+
+    peer: int
+    count: int
+    displ: int
+    packer: Packer
+
+    @property
+    def packed_bytes(self) -> int:
+        return self.packer.packed_size(self.count) if self.count else 0
+
+
+def _group_sections(sections: Sequence[PackedSection]) -> dict[int, list[PackedSection]]:
+    groups: dict[int, list[PackedSection]] = {}
+    for section in sections:
+        if section.count:
+            groups.setdefault(section.peer, []).append(section)
+    return groups
+
+
+class _CollectiveStaging:
+    """Per-call view of the cache's keyed staging buffers.
+
+    With caching on, buffers stay bound to their ``(role, peer, kind)`` key
+    inside the cache across collective calls (the per-peer reuse of Sec. 5).
+    With caching off there is nothing to hold them, so this tracker releases
+    every acquisition when the call ends — mirroring how ``send_packed``
+    returns its checkout-style buffers — instead of leaking one allocation
+    per peer per call.
+    """
+
+    def __init__(self, cache: ResourceCache) -> None:
+        self.cache = cache
+        self._transient: list = []
+
+    def get(self, key, nbytes: int, kind: MemoryKind):
+        buffer = self.cache.get_persistent(key, nbytes, kind)
+        if not self.cache.enabled:
+            self._transient.append(buffer)
+        return buffer
+
+    def release(self) -> None:
+        for buffer in self._transient:
+            self.cache.put_buffer(buffer)
+        self._transient.clear()
+
+
+def _pack_group(
+    comm,
+    staging_of: _CollectiveStaging,
+    group: Sequence[PackedSection],
+    method: PackMethod,
+    send,
+    peer: int,
+    role: str,
+):
+    """Pack one peer's sections into (persistent) staging; returns the bytes.
+
+    The staging buffer is keyed by peer and kind so an iterative application
+    finds the same buffer on every exchange (Sec. 5's reuse argument, applied
+    per collective destination instead of per send).
+    """
+    total = sum(section.packed_bytes for section in group)
+    kind = _staging_kind(method)
+    staging = staging_of.get(("collective", role, peer, kind), total, kind)
+    offset = 0
+    for section in group:
+        section.packer.pack(
+            comm.gpu, send.view(section.displ), staging, section.count, dst_offset=offset
+        )
+        offset += section.packed_bytes
+    if method is PackMethod.STAGED:
+        host = staging_of.get(
+            ("collective", role + "-host", peer, MemoryKind.HOST_PINNED),
+            total,
+            MemoryKind.HOST_PINNED,
+        )
+        comm.gpu.memcpy_async(host, staging, total)
+        comm.gpu.stream_synchronize()
+        return host.data[:total]
+    return staging.data[:total]
+
+
+def _unpack_group(
+    comm,
+    staging_of: _CollectiveStaging,
+    group: Sequence[PackedSection],
+    method: PackMethod,
+    payload,
+    recv,
+    peer: int,
+) -> None:
+    """Scatter one peer's concatenated packed payload into the user buffer."""
+    total = sum(section.packed_bytes for section in group)
+    kind = _staging_kind(method)
+    staging = staging_of.get(("collective", "recv", peer, kind), total, kind)
+    if method is PackMethod.STAGED:
+        host = staging_of.get(
+            ("collective", "recv-host", peer, MemoryKind.HOST_PINNED),
+            total,
+            MemoryKind.HOST_PINNED,
+        )
+        host.data[:total] = payload
+        comm.gpu.memcpy_async(staging, host, total)
+        comm.gpu.stream_synchronize()
+    else:
+        staging.data[:total] = payload
+    offset = 0
+    for section in group:
+        section.packer.unpack(
+            comm.gpu, staging, recv.view(section.displ), section.count, src_offset=offset
+        )
+        offset += section.packed_bytes
+
+
+def alltoallv_packed(
+    comm,
+    cache: ResourceCache,
+    select: MethodSelector,
+    send,
+    send_sections: Sequence[PackedSection],
+    recv,
+    recv_sections: Sequence[PackedSection],
+) -> dict[str, int]:
+    """TEMPI's datatype-carrying all-to-all-v: one pack kernel per peer.
+
+    Where the system path pays one ``cudaMemcpyAsync`` per contiguous block
+    of every section, this path packs each peer's segment with a single
+    kernel into a cached staging buffer whose memory kind follows the
+    per-message model decision (one-shot → mapped host, device → device,
+    staged → device plus an explicit pinned-host bounce).  The wire is
+    charged with the same analytic all-to-all-v cost as the system path,
+    split by each message's transfer path, so baseline-vs-TEMPI comparisons
+    isolate exactly the datatype handling the paper accelerates.
+
+    Returns the per-method message counts (for :class:`InterposerStats`).
+    """
+    tag = _next_collective_tag(comm)
+    send_groups = _group_sections(send_sections)
+    recv_groups = _group_sections(recv_sections)
+    now = comm.clock.now
+    pair_methods: dict[int, PackMethod] = {}
+    method_counts: dict[str, int] = {}
+    staging_of = _CollectiveStaging(cache)
+
+    try:
+        # Pack and post every outgoing peer segment.
+        for peer, group in send_groups.items():
+            if peer == comm.rank:
+                continue
+            total = sum(section.packed_bytes for section in group)
+            method = select(group[0].packer, total)
+            pair_methods[peer] = method
+            method_counts[method.value] = method_counts.get(method.value, 0) + 1
+            payload = _pack_group(comm, staging_of, group, method, send, peer, "send")
+            _post_raw(comm, peer, tag, payload.copy(), comm.clock.now)
+
+        # Local sections bounce through device staging without touching the wire.
+        local_send = send_groups.get(comm.rank, [])
+        local_recv = recv_groups.get(comm.rank, [])
+        if sum(s.packed_bytes for s in local_send) != sum(s.packed_bytes for s in local_recv):
+            raise MethodError("self send/recv sections disagree on packed size")
+        if local_send:
+            payload = _pack_group(
+                comm, staging_of, local_send, PackMethod.DEVICE, send, comm.rank, "send"
+            )
+            _unpack_group(
+                comm, staging_of, local_recv, PackMethod.DEVICE, payload, recv, comm.rank
+            )
+
+        # Receive and unpack every incoming peer segment.
+        latest = now
+        for peer, group in recv_groups.items():
+            if peer == comm.rank:
+                continue
+            total = sum(section.packed_bytes for section in group)
+            method = select(group[0].packer, total)
+            pair_methods.setdefault(peer, method)
+            envelope = _receive_raw(comm, peer, tag)
+            if envelope.nbytes != total:
+                raise MethodError(
+                    f"rank {comm.rank} expected {total} packed bytes from {peer}, "
+                    f"got {envelope.nbytes}"
+                )
+            _unpack_group(comm, staging_of, group, method, envelope.payload, recv, peer)
+            latest = max(latest, envelope.available_at)
+    finally:
+        staging_of.release()
+
+    # Charge the wire analytically, splitting pairs by their transfer path.
+    comm.clock.advance_to(latest)
+    device_pairs = [0] * comm.size
+    host_pairs = [0] * comm.size
+    for peer, method in pair_methods.items():
+        sent = sum(s.packed_bytes for s in send_groups.get(peer, []))
+        received = sum(s.packed_bytes for s in recv_groups.get(peer, []))
+        nbytes = max(sent, received)
+        if method is PackMethod.DEVICE:
+            device_pairs[peer] = nbytes
+        else:
+            host_pairs[peer] = nbytes
+    if any(device_pairs):
+        comm.clock.advance(
+            comm.network.alltoallv_time(
+                device_pairs, comm.topology, comm.rank, device_buffers=True
+            )
+        )
+    if any(host_pairs):
+        comm.clock.advance(
+            comm.network.alltoallv_time(
+                host_pairs, comm.topology, comm.rank, device_buffers=False
+            )
+        )
+    return method_counts
+
+
+def neighbor_packed(
+    comm,
+    cache: ResourceCache,
+    select: MethodSelector,
+    send,
+    send_sections: Sequence[PackedSection],
+    recv,
+    recv_sections: Sequence[PackedSection],
+) -> dict[str, int]:
+    """TEMPI's neighbour all-to-all-v: identical engine, sparse section lists.
+
+    The section lists already carry explicit peers (with duplicates allowed,
+    concatenated in list order), so the dense and neighbour collectives share
+    :func:`alltoallv_packed` exactly the way the system-path siblings share
+    their engine — same semantics, same cost accounting.
+    """
+    return alltoallv_packed(comm, cache, select, send, send_sections, recv, recv_sections)
 
 
 def pack_to_user_buffer(

@@ -96,3 +96,46 @@ class TestTempiSpeedsUpExchange:
     def test_repeated_iterations_stay_correct(self, summit_model):
         timings = run_exchange(2, use_tempi=True, summit_model=summit_model, iterations=3)
         assert all(len(per_rank) == 3 for per_rank in timings)
+
+
+class TestNeighborMode:
+    """The exchange rewired onto the datatype-carrying neighbour collective."""
+
+    def run_neighbor(self, nranks, *, use_tempi, summit_model=None, iterations=1):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model) if use_tempi else ctx.comm
+            app = HaloExchange(ctx, comm, SMALL, mode="neighbor")
+            return app.run(iterations=iterations, verify=True)
+
+        world = World(nranks, ranks_per_node=min(nranks, 6))
+        return world.run(program)
+
+    def test_invalid_mode_rejected(self):
+        def program(ctx):
+            with pytest.raises(ValueError):
+                HaloExchange(ctx, ctx.comm, SMALL, mode="telepathy")
+            return True
+
+        assert all(World(1).run(program))
+
+    def test_baseline_neighbor_exchange_verifies(self):
+        self.run_neighbor(1, use_tempi=False)
+        self.run_neighbor(8, use_tempi=False)
+
+    def test_tempi_neighbor_exchange_verifies(self, summit_model):
+        self.run_neighbor(8, use_tempi=True, summit_model=summit_model)
+
+    def test_all_time_reported_as_communication(self):
+        timings = self.run_neighbor(2, use_tempi=False)[0]
+        assert timings[0].pack_s == 0.0
+        assert timings[0].unpack_s == 0.0
+        assert timings[0].comm_s > 0.0
+
+    def test_tempi_neighbor_faster_than_baseline(self, summit_model):
+        # Second iteration: staging buffers and model queries come from the
+        # caches, the steady state the paper's latency comparisons describe.
+        baseline = self.run_neighbor(2, use_tempi=False, iterations=2)
+        accelerated = self.run_neighbor(2, use_tempi=True, summit_model=summit_model, iterations=2)
+        base = aggregate_timings([rank[-1] for rank in baseline])
+        fast = aggregate_timings([rank[-1] for rank in accelerated])
+        assert base.total_s / fast.total_s > 5

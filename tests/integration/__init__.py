@@ -1,0 +1,1 @@
+"""Test package (keeps basenames like test_kernels.py unambiguous across subpackages)."""

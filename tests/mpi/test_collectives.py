@@ -210,3 +210,175 @@ class TestNeighborAlltoallv:
             return True
 
         assert all(world.run(program))
+
+
+class TestTypedAlltoallv:
+    """The datatype-carrying signature (system-MPI baseline path)."""
+
+    @staticmethod
+    def _vector(comm):
+        from repro.mpi.constructors import Type_vector
+        from repro.mpi.datatype import BYTE
+
+        return comm.Type_commit(Type_vector(4, 2, 8, BYTE))
+
+    def test_strided_sections_round_trip(self, world4):
+        from repro.mpi import typemap
+
+        def program(ctx):
+            comm = ctx.comm
+            t = self._vector(comm)
+            send = ctx.gpu.malloc(t.extent * comm.size)
+            recv = ctx.gpu.malloc(t.extent * comm.size)
+            for peer in range(comm.size):
+                send.data[peer * t.extent : (peer + 1) * t.extent] = ctx.rank * 10 + peer
+            counts = [1] * comm.size
+            displs = [peer * t.extent for peer in range(comm.size)]
+            comm.Alltoallv(
+                send, counts, displs, recv, counts, displs, sendtypes=t, recvtypes=t
+            )
+            offsets, lengths = typemap.offsets_and_lengths(t)
+            for peer in range(comm.size):
+                base = peer * t.extent
+                for offset, length in zip(offsets, lengths):
+                    section = recv.data[base + int(offset) : base + int(offset) + int(length)]
+                    assert (section == peer * 10 + ctx.rank).all()
+            return True
+
+        assert all(world4.run(program))
+
+    def test_gap_bytes_untouched(self, world4):
+        def program(ctx):
+            comm = ctx.comm
+            t = self._vector(comm)
+            send = ctx.gpu.malloc(t.extent * comm.size)
+            send.data[:] = 9
+            recv = ctx.gpu.malloc(t.extent * comm.size)
+            counts = [1] * comm.size
+            displs = [peer * t.extent for peer in range(comm.size)]
+            comm.Alltoallv(
+                send, counts, displs, recv, counts, displs, sendtypes=t, recvtypes=t
+            )
+            # Only the typemap bytes of each element may be written.
+            for peer in range(comm.size):
+                base = peer * t.extent
+                for block in range(4):
+                    gap = recv.data[base + block * 8 + 2 : base + min((block + 1) * 8, t.extent)]
+                    assert not gap.any()
+            return True
+
+        assert all(world4.run(program))
+
+    def test_zero_counts_skip_peers(self, world4):
+        def program(ctx):
+            comm = ctx.comm
+            t = self._vector(comm)
+            send = ctx.gpu.malloc(t.extent * comm.size)
+            send.data[:] = ctx.rank + 1
+            recv = ctx.gpu.malloc(t.extent * comm.size)
+            counts = [1 if peer == ctx.rank else 0 for peer in range(comm.size)]
+            displs = [peer * t.extent for peer in range(comm.size)]
+            comm.Alltoallv(
+                send, counts, displs, recv, counts, displs, sendtypes=t, recvtypes=t
+            )
+            return True
+
+        assert all(world4.run(program))
+
+    def test_half_specified_types_rejected(self):
+        def program(ctx):
+            t = self._vector(ctx.comm)
+            buf = ctx.gpu.malloc(t.extent)
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Alltoallv(buf, [1], [0], buf, [1], [0], sendtypes=t)
+            return True
+
+        assert all(World(1).run(program))
+
+    def test_uncommitted_type_rejected(self):
+        from repro.mpi.constructors import Type_vector
+        from repro.mpi.datatype import BYTE
+        from repro.mpi.errors import MpiError
+
+        def program(ctx):
+            t = Type_vector(4, 2, 8, BYTE)  # not committed
+            buf = ctx.gpu.malloc(t.extent)
+            with pytest.raises(MpiError):
+                ctx.comm.Alltoallv(buf, [1], [0], buf, [1], [0], sendtypes=t, recvtypes=t)
+            return True
+
+        assert all(World(1).run(program))
+
+    def test_section_escaping_buffer_rejected(self):
+        def program(ctx):
+            t = self._vector(ctx.comm)
+            small = ctx.gpu.malloc(t.extent - 1)
+            ok = ctx.gpu.malloc(t.extent)
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Alltoallv(small, [1], [0], ok, [1], [0], sendtypes=t, recvtypes=t)
+            return True
+
+        assert all(World(1).run(program))
+
+
+class TestTypedNeighborAlltoallv:
+    def test_duplicate_neighbours_allowed_with_types(self):
+        """Two ranks, each sending two strided sections to the same peer."""
+        from repro.mpi import typemap
+
+        def program(ctx):
+            comm = ctx.comm
+            t = TestTypedAlltoallv._vector(comm)
+            peer = 1 - ctx.rank
+            send = ctx.gpu.malloc(2 * t.extent)
+            send.data[: t.extent] = ctx.rank * 10 + 1
+            send.data[t.extent :] = ctx.rank * 10 + 2
+            recv = ctx.gpu.malloc(2 * t.extent)
+            comm.Neighbor_alltoallv(
+                [peer, peer],
+                send,
+                [1, 1],
+                [0, t.extent],
+                recv,
+                [1, 1],
+                [0, t.extent],
+                sendtypes=t,
+                recvtypes=t,
+            )
+            offsets, lengths = typemap.offsets_and_lengths(t)
+            for section, expected in ((0, peer * 10 + 1), (t.extent, peer * 10 + 2)):
+                for offset, length in zip(offsets, lengths):
+                    begin = section + int(offset)
+                    assert (recv.data[begin : begin + int(length)] == expected).all()
+            return True
+
+        assert all(World(2, ranks_per_node=2).run(program))
+
+    def test_self_neighbour_round_trips(self):
+        """Fully periodic single rank: every neighbour is the rank itself."""
+
+        def program(ctx):
+            comm = ctx.comm
+            t = TestTypedAlltoallv._vector(comm)
+            send = ctx.gpu.malloc(t.extent)
+            send.data[:] = 42
+            recv = ctx.gpu.malloc(t.extent)
+            comm.Neighbor_alltoallv(
+                [0], send, [1], [0], recv, [1], [0], sendtypes=t, recvtypes=t
+            )
+            assert (recv.data[:2] == 42).all()
+            return True
+
+        assert all(World(1).run(program))
+
+    def test_typed_length_mismatch_rejected(self):
+        def program(ctx):
+            t = TestTypedAlltoallv._vector(ctx.comm)
+            buf = ctx.gpu.malloc(t.extent)
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Neighbor_alltoallv(
+                    [0], buf, [1, 1], [0, 0], buf, [1], [0], sendtypes=t, recvtypes=t
+                )
+            return True
+
+        assert all(World(1).run(program))

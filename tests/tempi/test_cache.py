@@ -99,3 +99,64 @@ class TestStatsAndClear:
         assert len(cache) == 3
         cache.clear()
         assert len(cache) == 0
+
+
+class TestPersistentBuffers:
+    """Keyed per-peer staging buffers for the interposed collectives."""
+
+    def test_first_acquisition_misses(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        buf = cache.get_buffer(0, MemoryKind.DEVICE)  # warm nothing
+        cache.put_buffer(buf)
+        first = cache.get_persistent(("send", 3), 1024, MemoryKind.DEVICE)
+        assert first.is_device
+        assert cache.stats.persistent_misses == 1
+
+    def test_same_key_reuses_same_buffer(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        first = cache.get_persistent(("send", 3), 1024, MemoryKind.DEVICE)
+        before = summit_runtime.clock.now
+        again = cache.get_persistent(("send", 3), 1024, MemoryKind.DEVICE)
+        assert again is first
+        assert summit_runtime.clock.now == before  # hits are free
+        assert cache.stats.persistent_hits == 1
+
+    def test_smaller_request_still_hits(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        first = cache.get_persistent("k", 1024, MemoryKind.DEVICE)
+        assert cache.get_persistent("k", 512, MemoryKind.DEVICE) is first
+
+    def test_growth_replaces_buffer(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        first = cache.get_persistent("k", 256, MemoryKind.DEVICE)
+        bigger = cache.get_persistent("k", 4096, MemoryKind.DEVICE)
+        assert bigger is not first
+        assert bigger.nbytes >= 4096
+        assert cache.stats.persistent_misses == 2
+
+    def test_kind_change_replaces_buffer(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        device = cache.get_persistent("k", 256, MemoryKind.DEVICE)
+        mapped = cache.get_persistent("k", 256, MemoryKind.HOST_MAPPED)
+        assert mapped is not device
+        assert mapped.kind is MemoryKind.HOST_MAPPED
+
+    def test_distinct_keys_distinct_buffers(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        a = cache.get_persistent(("send", 0), 64, MemoryKind.DEVICE)
+        b = cache.get_persistent(("send", 1), 64, MemoryKind.DEVICE)
+        assert a is not b
+
+    def test_disabled_cache_never_retains(self, summit_runtime):
+        cache = ResourceCache(summit_runtime, enabled=False)
+        first = cache.get_persistent("k", 64, MemoryKind.DEVICE)
+        again = cache.get_persistent("k", 64, MemoryKind.DEVICE)
+        assert again is not first
+        assert cache.stats.persistent_hits == 0
+
+    def test_clear_drops_persistent_buffers(self, summit_runtime):
+        cache = ResourceCache(summit_runtime)
+        cache.get_persistent("k", 64, MemoryKind.DEVICE)
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0

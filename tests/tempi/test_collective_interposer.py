@@ -1,0 +1,186 @@
+"""Tests for the interposed datatype-carrying collectives (Sec. 5, extended)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.halo import HaloSpec
+from repro.apps.stencil import HaloExchange
+from repro.mpi.constructors import Type_contiguous, Type_vector
+from repro.mpi.datatype import BYTE
+from repro.mpi.world import World
+from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.interposer import interpose
+
+SMALL = HaloSpec(nx=6, ny=6, nz=6, radius=2, fields=2, bytes_per_field=4)
+
+
+def vector_type(comm, nblocks=8, block=2, pitch=16):
+    return comm.Type_commit(Type_vector(nblocks, block, pitch, BYTE))
+
+
+def typed_alltoallv(ctx, comm, datatype, *, device=True, iterations=1):
+    """One symmetric typed all-to-all-v over ``comm``; returns the recv buffer."""
+    size = comm.Get_size()
+    alloc = ctx.gpu.malloc if device else (lambda n: np.zeros(n, dtype=np.uint8))
+    send = alloc(datatype.extent * size)
+    recv = alloc(datatype.extent * size)
+    (send.data if device else send)[:] = (ctx.rank + 1) % 251
+    counts = [1] * size
+    displs = [peer * datatype.extent for peer in range(size)]
+    for _ in range(iterations):
+        comm.Alltoallv(
+            send, counts, displs, recv, counts, displs, sendtypes=datatype, recvtypes=datatype
+        )
+    return recv
+
+
+class TestAcceleration:
+    def test_strided_device_collective_hits(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            typed_alltoallv(ctx, comm, vector_type(comm))
+            return (comm.stats.collective_hits, comm.stats.collective_fallbacks)
+
+        results = World(4, ranks_per_node=2).run(program)
+        assert results == [(1, 0)] * 4
+
+    def test_accelerated_matches_baseline_bytes(self, summit_model):
+        def program(ctx, use_tempi):
+            comm = interpose(ctx, model=summit_model) if use_tempi else ctx.comm
+            recv = typed_alltoallv(ctx, comm, vector_type(comm))
+            return recv.data.copy()
+
+        baseline = World(4, ranks_per_node=2).run(program, False)
+        accelerated = World(4, ranks_per_node=2).run(program, True)
+        for base, fast in zip(baseline, accelerated):
+            assert np.array_equal(base, fast)
+
+    def test_method_counts_recorded(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            typed_alltoallv(ctx, comm, vector_type(comm))
+            return dict(comm.stats.method_counts)
+
+        for counts in World(2, ranks_per_node=1).run(program):
+            assert sum(counts.values()) == 1  # one wire message to the other rank
+            assert set(counts) <= {"oneshot", "device", "staged"}
+
+    def test_forced_method_respected(self, summit_model):
+        config = TempiConfig(method=PackMethod.DEVICE)
+
+        def program(ctx):
+            comm = interpose(ctx, config, model=summit_model)
+            typed_alltoallv(ctx, comm, vector_type(comm))
+            return dict(comm.stats.method_counts)
+
+        assert World(2, ranks_per_node=1).run(program) == [{"device": 1}] * 2
+
+    def test_collective_faster_than_baseline(self, summit_model):
+        """The Fig. 13 claim at unit-test scale (4 ranks, strided type)."""
+
+        def program(ctx, use_tempi):
+            comm = interpose(ctx, model=summit_model) if use_tempi else ctx.comm
+            t = vector_type(comm, nblocks=512, block=8, pitch=64)
+            start = ctx.clock.now
+            typed_alltoallv(ctx, comm, t)
+            return ctx.clock.now - start
+
+        baseline = max(World(4, ranks_per_node=2).run(program, False))
+        accelerated = max(World(4, ranks_per_node=2).run(program, True))
+        assert baseline / accelerated > 10
+
+
+class TestFallbacks:
+    def _fallback_stats(self, summit_model, build, *, device=True, nranks=2):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            typed_alltoallv(ctx, comm, build(comm), device=device)
+            return (comm.stats.collective_hits, comm.stats.collective_fallbacks)
+
+        return World(nranks, ranks_per_node=2).run(program)
+
+    def test_contiguous_type_falls_back(self, summit_model):
+        stats = self._fallback_stats(summit_model, lambda comm: comm.Type_commit(Type_contiguous(64, BYTE)))
+        assert stats == [(0, 1)] * 2
+
+    def test_host_buffers_fall_back(self, summit_model):
+        stats = self._fallback_stats(summit_model, vector_type, device=False)
+        assert stats == [(0, 1)] * 2
+
+    def test_disabled_config_passes_through(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, TempiConfig.disabled(), model=summit_model)
+            t = Type_vector(8, 2, 16, BYTE)
+            t.Commit()  # system commit only: no handler attached
+            typed_alltoallv(ctx, comm, t)
+            return (comm.stats.collective_hits, comm.stats.collective_fallbacks)
+
+        assert World(2, ranks_per_node=2).run(program) == [(0, 0)] * 2
+
+    def test_byte_signature_not_interposed(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            send = ctx.gpu.malloc(4 * comm.Get_size())
+            recv = ctx.gpu.malloc(4 * comm.Get_size())
+            counts = [4] * comm.Get_size()
+            displs = [4 * peer for peer in range(comm.Get_size())]
+            comm.Alltoallv(send, counts, displs, recv, counts, displs)
+            return (comm.stats.collective_hits, comm.stats.collective_fallbacks)
+
+        assert World(2, ranks_per_node=2).run(program) == [(0, 0)] * 2
+
+    def test_fallback_still_moves_bytes(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = comm.Type_commit(Type_contiguous(16, BYTE))
+            recv = typed_alltoallv(ctx, comm, t)
+            assert (recv.data[:16] == 1).all()  # rank 0's fill value
+            return True
+
+        assert all(World(2, ranks_per_node=2).run(program))
+
+
+class TestHaloIterationStats:
+    """InterposerStats and cache reuse across repeated halo iterations."""
+
+    ITERATIONS = 3
+
+    def _run_halo(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            app = HaloExchange(ctx, comm, SMALL, mode="neighbor")
+            app.run(iterations=self.ITERATIONS, verify=True)
+            return comm.stats, comm.tempi.cache.stats
+
+        return World(4, ranks_per_node=2).run(program)
+
+    def test_one_collective_hit_per_iteration(self, summit_model):
+        for stats, _ in self._run_halo(summit_model):
+            assert stats.collective_hits == self.ITERATIONS
+            assert stats.collective_fallbacks == 0
+            assert sum(stats.method_counts.values()) > 0
+
+    def test_staging_buffers_reused_after_first_iteration(self, summit_model):
+        for _, cache_stats in self._run_halo(summit_model):
+            # Every staging key misses once (first exchange) and hits on the
+            # remaining iterations: reuse rate (iterations-1)/iterations.
+            assert cache_stats.persistent_misses > 0
+            assert (
+                cache_stats.persistent_hits
+                == (self.ITERATIONS - 1) * cache_stats.persistent_misses
+            )
+
+    def test_neighbor_mode_equals_packed_mode_ghosts(self, summit_model):
+        """Both exchange modes produce identical ghost regions."""
+
+        def program(ctx, mode):
+            comm = interpose(ctx, model=summit_model)
+            app = HaloExchange(ctx, comm, SMALL, mode=mode)
+            app.fill_interior()
+            app.exchange()
+            return app.local.data.copy()
+
+        packed = World(4, ranks_per_node=2).run(program, "packed")
+        neighbor = World(4, ranks_per_node=2).run(program, "neighbor")
+        for a, b in zip(packed, neighbor):
+            assert np.array_equal(a, b)
