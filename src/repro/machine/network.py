@@ -20,6 +20,14 @@ from repro.machine.spec import SUMMIT, MachineSpec
 from repro.machine.topology import Topology
 
 
+#: Fraction of a message's serial wire time that occupies the NIC when
+#: transfers to distinct peers overlap.  Shared by the analytic
+#: :meth:`NetworkModel.alltoallv_time` discount and the plan executor's
+#: per-message NIC serialisation, so the serial and overlapped engines price
+#: the wire consistently.
+DEFAULT_WIRE_OVERLAP = 0.65
+
+
 class TransferPath(enum.Enum):
     """Which physical path a message takes."""
 
@@ -124,7 +132,7 @@ class NetworkModel:
         rank: int,
         *,
         device_buffers: bool = False,
-        overlap: float = 0.65,
+        overlap: float = DEFAULT_WIRE_OVERLAP,
     ) -> float:
         """Approximate time rank ``rank`` spends in an all-to-all-v.
 

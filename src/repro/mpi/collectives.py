@@ -68,6 +68,24 @@ def _receive_raw(comm, source: int, tag: int) -> Envelope:
     return comm.router.receive(comm.rank, source, tag, comm.context)
 
 
+def _arrival_probe(comm, tag: int, peers: Sequence[int]):
+    """A ``Request.Test`` readiness probe for a split-phase collective.
+
+    True once every expected peer's envelope is present *and* virtually
+    arrived (``available_at`` passed on this rank's clock) — mailbox presence
+    alone would make ``Test`` outcomes depend on the thread scheduler.
+    """
+
+    def ready() -> bool:
+        for peer in peers:
+            envelope = comm.router.probe(comm.rank, peer, tag, comm.context)
+            if envelope is None or envelope.available_at > comm.clock.now:
+                return False
+        return True
+
+    return ready
+
+
 # --------------------------------------------------------------------------- #
 # Barrier
 # --------------------------------------------------------------------------- #
@@ -157,7 +175,7 @@ def _validate_vector_args(comm, counts: Sequence[int], displs: Sequence[int], wh
         raise MpiArgumentError(f"{what} counts and displacements must be non-negative")
 
 
-def alltoallv(
+def alltoallv_begin(
     comm,
     sendbuf,
     sendcounts: Sequence[int],
@@ -165,12 +183,13 @@ def alltoallv(
     recvbuf,
     recvcounts: Sequence[int],
     recvdispls: Sequence[int],
-) -> None:
-    """Exchange byte ranges with every rank (``MPI_Alltoallv``).
+):
+    """Start a byte all-to-all-v: validate, post sends, copy the self section.
 
-    Counts and displacements are in bytes; this matches the halo-exchange
-    implementation the paper describes, which packs every halo into one byte
-    buffer and exchanges it with a single all-to-all-v.
+    Returns ``(finish, ready)``: ``finish`` receives every incoming section
+    and charges the analytic wire cost — the split that lets ``Ialltoallv``
+    defer its receive side to ``Request.Wait`` while sends are already in
+    flight — and ``ready`` is the nonblocking arrival probe ``Test`` uses.
     """
     from repro.mpi.communicator import as_buffer
 
@@ -200,32 +219,61 @@ def alltoallv(
             raise MpiArgumentError("self send/recv counts disagree")
         recv.data[dst : dst + local] = send.data[src : src + local]
 
-    # Receive every incoming section.
-    latest = now
-    for peer in range(comm.size):
-        count = int(recvcounts[peer])
-        if count == 0 or peer == comm.rank:
-            continue
-        envelope = _receive_raw(comm, peer, tag)
-        offset = int(recvdispls[envelope.source])
-        expected = int(recvcounts[envelope.source])
-        if envelope.nbytes != expected:
-            raise MpiArgumentError(
-                f"rank {comm.rank} expected {expected} bytes from {envelope.source}, "
-                f"got {envelope.nbytes}"
-            )
-        if offset + envelope.nbytes > recv.nbytes:
-            raise MpiArgumentError("receive section escapes the receive buffer")
-        recv.data[offset : offset + envelope.nbytes] = envelope.payload
-        latest = max(latest, envelope.available_at)
+    def finish() -> None:
+        # Receive every incoming section.
+        latest = now
+        for peer in range(comm.size):
+            count = int(recvcounts[peer])
+            if count == 0 or peer == comm.rank:
+                continue
+            envelope = _receive_raw(comm, peer, tag)
+            offset = int(recvdispls[envelope.source])
+            expected = int(recvcounts[envelope.source])
+            if envelope.nbytes != expected:
+                raise MpiArgumentError(
+                    f"rank {comm.rank} expected {expected} bytes from {envelope.source}, "
+                    f"got {envelope.nbytes}"
+                )
+            if offset + envelope.nbytes > recv.nbytes:
+                raise MpiArgumentError("receive section escapes the receive buffer")
+            recv.data[offset : offset + envelope.nbytes] = envelope.payload
+            latest = max(latest, envelope.available_at)
 
-    # Charge the analytic per-rank cost once.
-    comm.clock.advance_to(latest)
-    per_pair = [max(int(s), int(r)) for s, r in zip(sendcounts, recvcounts)]
-    device = send.is_device or recv.is_device
-    comm.clock.advance(
-        comm.network.alltoallv_time(per_pair, comm.topology, comm.rank, device_buffers=device)
+        # Charge the analytic per-rank cost once.
+        comm.clock.advance_to(latest)
+        per_pair = [max(int(s), int(r)) for s, r in zip(sendcounts, recvcounts)]
+        device = send.is_device or recv.is_device
+        comm.clock.advance(
+            comm.network.alltoallv_time(per_pair, comm.topology, comm.rank, device_buffers=device)
+        )
+
+    wire_peers = [
+        peer
+        for peer in range(comm.size)
+        if peer != comm.rank and int(recvcounts[peer])
+    ]
+    return finish, _arrival_probe(comm, tag, wire_peers)
+
+
+def alltoallv(
+    comm,
+    sendbuf,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+) -> None:
+    """Exchange byte ranges with every rank (``MPI_Alltoallv``).
+
+    Counts and displacements are in bytes; this matches the halo-exchange
+    implementation the paper describes, which packs every halo into one byte
+    buffer and exchanges it with a single all-to-all-v.
+    """
+    finish, _ = alltoallv_begin(
+        comm, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
     )
+    finish()
 
 
 def neighbor_alltoallv(
@@ -244,6 +292,24 @@ def neighbor_alltoallv(
     not in ``neighbors``; implemented exactly that way so the two share
     semantics and cost accounting.
     """
+    finish, _ = neighbor_alltoallv_begin(
+        comm, neighbors, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
+    )
+    finish()
+
+
+def neighbor_alltoallv_begin(
+    comm,
+    neighbors: Sequence[int],
+    sendbuf,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+):
+    """Split-phase byte neighbour collective: expand the list, start, return
+    ``(finish, ready)``."""
     if not (len(neighbors) == len(sendcounts) == len(senddispls) == len(recvcounts) == len(recvdispls)):
         raise MpiArgumentError("neighbour argument lists must have equal lengths")
     if len(set(neighbors)) != len(neighbors):
@@ -262,7 +328,7 @@ def neighbor_alltoallv(
         full_senddispls[peer] = int(senddispls[index])
         full_recvcounts[peer] = int(recvcounts[index])
         full_recvdispls[peer] = int(recvdispls[index])
-    alltoallv(
+    return alltoallv_begin(
         comm,
         sendbuf,
         full_sendcounts,
@@ -365,14 +431,17 @@ def group_by_peer(sections: Sequence[TypedSection]) -> dict[int, list[TypedSecti
     return groups
 
 
-def typed_exchange(comm, send, send_sections, recv, recv_sections) -> None:
-    """The system-MPI engine of the datatype-carrying all-to-all-v.
+def typed_exchange_begin(comm, send, send_sections, recv, recv_sections):
+    """Start the system-MPI engine of the datatype-carrying all-to-all-v.
 
-    Every section is packed with the per-block baseline engine (charging its
-    one-memcpy-per-block cost on the virtual clock), concatenated per peer,
-    exchanged through the router and unpacked the same way; the wire is
-    charged once with the analytic all-to-all-v cost, exactly like the byte
-    path so the two signatures are comparable.
+    Every outgoing section is packed with the per-block baseline engine
+    (charging its one-memcpy-per-block cost on the virtual clock),
+    concatenated per peer and posted; the self sections round-trip through a
+    staging buffer immediately.  Returns ``(finish, ready)``: ``finish``
+    receives and unpacks every incoming peer segment and charges the analytic
+    wire cost once, exactly like the byte path so the two signatures are
+    comparable — and so ``Ialltoallv`` can defer it to ``Request.Wait`` —
+    and ``ready`` is the nonblocking arrival probe ``Test`` uses.
     """
     tag = _next_collective_tag(comm)
     send_groups = group_by_peer(send_sections)
@@ -411,37 +480,73 @@ def typed_exchange(comm, send, send_sections, recv, recv_sections) -> None:
                 staging, offset, recv, section.datatype, section.count, out_offset=section.displ
             )
 
-    # Receive and unpack every incoming peer segment.
-    latest = now
-    for peer, group in recv_groups.items():
-        if peer == comm.rank:
-            continue
-        expected = sum(section.packed_bytes for section in group)
-        envelope = _receive_raw(comm, peer, tag)
-        if envelope.nbytes != expected:
-            raise MpiArgumentError(
-                f"rank {comm.rank} expected {expected} packed bytes from {peer}, "
-                f"got {envelope.nbytes}"
-            )
-        staging = HostBuffer(envelope.nbytes, MemoryKind.HOST_PINNED, _array=envelope.payload)
-        offset = 0
-        for section in group:
-            offset = comm.baseline.unpack(
-                staging, offset, recv, section.datatype, section.count, out_offset=section.displ
-            )
-        latest = max(latest, envelope.available_at)
+    def finish() -> None:
+        # Receive and unpack every incoming peer segment.
+        latest = now
+        for peer, group in recv_groups.items():
+            if peer == comm.rank:
+                continue
+            expected = sum(section.packed_bytes for section in group)
+            envelope = _receive_raw(comm, peer, tag)
+            if envelope.nbytes != expected:
+                raise MpiArgumentError(
+                    f"rank {comm.rank} expected {expected} packed bytes from {peer}, "
+                    f"got {envelope.nbytes}"
+                )
+            staging = HostBuffer(envelope.nbytes, MemoryKind.HOST_PINNED, _array=envelope.payload)
+            offset = 0
+            for section in group:
+                offset = comm.baseline.unpack(
+                    staging, offset, recv, section.datatype, section.count, out_offset=section.displ
+                )
+            latest = max(latest, envelope.available_at)
 
-    # Charge the analytic wire cost once, mirroring the byte path.
-    comm.clock.advance_to(latest)
-    per_pair = [0] * comm.size
-    for peer, group in send_groups.items():
-        per_pair[peer] = max(per_pair[peer], sum(s.packed_bytes for s in group))
-    for peer, group in recv_groups.items():
-        per_pair[peer] = max(per_pair[peer], sum(s.packed_bytes for s in group))
-    device = send.is_device or recv.is_device
-    comm.clock.advance(
-        comm.network.alltoallv_time(per_pair, comm.topology, comm.rank, device_buffers=device)
-    )
+        # Charge the analytic wire cost once, mirroring the byte path.
+        comm.clock.advance_to(latest)
+        per_pair = [0] * comm.size
+        for peer, group in send_groups.items():
+            per_pair[peer] = max(per_pair[peer], sum(s.packed_bytes for s in group))
+        for peer, group in recv_groups.items():
+            per_pair[peer] = max(per_pair[peer], sum(s.packed_bytes for s in group))
+        device = send.is_device or recv.is_device
+        comm.clock.advance(
+            comm.network.alltoallv_time(per_pair, comm.topology, comm.rank, device_buffers=device)
+        )
+
+    wire_peers = [peer for peer in recv_groups if peer != comm.rank]
+    return finish, _arrival_probe(comm, tag, wire_peers)
+
+
+def typed_exchange(comm, send, send_sections, recv, recv_sections) -> None:
+    """The blocking form of :func:`typed_exchange_begin`."""
+    finish, _ = typed_exchange_begin(comm, send, send_sections, recv, recv_sections)
+    finish()
+
+
+def alltoallv_typed_begin(
+    comm,
+    sendbuf,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    sendtypes: TypesArg,
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+    recvtypes: TypesArg,
+):
+    """Split-phase datatype-carrying ``MPI_Alltoallv``; returns ``(finish, ready)``."""
+    from repro.mpi.communicator import as_buffer
+
+    send = as_buffer(sendbuf)
+    recv = as_buffer(recvbuf)
+    if len(sendcounts) != comm.size or len(recvcounts) != comm.size:
+        raise MpiArgumentError(
+            f"typed counts/displacements must have one entry per rank ({comm.size})"
+        )
+    peers = list(range(comm.size))
+    send_sections = build_sections(comm, send, peers, sendcounts, senddispls, sendtypes, "send")
+    recv_sections = build_sections(comm, recv, peers, recvcounts, recvdispls, recvtypes, "recv")
+    return typed_exchange_begin(comm, send, send_sections, recv, recv_sections)
 
 
 def alltoallv_typed(
@@ -461,18 +566,46 @@ def alltoallv_typed(
     offsets of the first element in the user buffer (``MPI_Alltoallw``'s
     convention, which the halo exchange needs for its subarray types).
     """
+    finish, _ = alltoallv_typed_begin(
+        comm,
+        sendbuf,
+        sendcounts,
+        senddispls,
+        sendtypes,
+        recvbuf,
+        recvcounts,
+        recvdispls,
+        recvtypes,
+    )
+    finish()
+
+
+def neighbor_alltoallv_typed_begin(
+    comm,
+    neighbors: Sequence[int],
+    sendbuf,
+    sendcounts: Sequence[int],
+    senddispls: Sequence[int],
+    sendtypes: TypesArg,
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+    recvtypes: TypesArg,
+):
+    """Split-phase datatype-carrying neighbour collective; returns ``(finish, ready)``."""
     from repro.mpi.communicator import as_buffer
 
     send = as_buffer(sendbuf)
     recv = as_buffer(recvbuf)
-    if len(sendcounts) != comm.size or len(recvcounts) != comm.size:
-        raise MpiArgumentError(
-            f"typed counts/displacements must have one entry per rank ({comm.size})"
-        )
-    peers = list(range(comm.size))
-    send_sections = build_sections(comm, send, peers, sendcounts, senddispls, sendtypes, "send")
-    recv_sections = build_sections(comm, recv, peers, recvcounts, recvdispls, recvtypes, "recv")
-    typed_exchange(comm, send, send_sections, recv, recv_sections)
+    if len(neighbors) != len(sendcounts) or len(neighbors) != len(recvcounts):
+        raise MpiArgumentError("neighbour argument lists must have equal lengths")
+    send_sections = build_sections(
+        comm, send, neighbors, sendcounts, senddispls, sendtypes, "send"
+    )
+    recv_sections = build_sections(
+        comm, recv, neighbors, recvcounts, recvdispls, recvtypes, "recv"
+    )
+    return typed_exchange_begin(comm, send, send_sections, recv, recv_sections)
 
 
 def neighbor_alltoallv_typed(
@@ -496,16 +629,16 @@ def neighbor_alltoallv_typed(
     orders send sections by direction and receive sections by negated
     direction, as its packed layout already does.
     """
-    from repro.mpi.communicator import as_buffer
-
-    send = as_buffer(sendbuf)
-    recv = as_buffer(recvbuf)
-    if len(neighbors) != len(sendcounts) or len(neighbors) != len(recvcounts):
-        raise MpiArgumentError("neighbour argument lists must have equal lengths")
-    send_sections = build_sections(
-        comm, send, neighbors, sendcounts, senddispls, sendtypes, "send"
+    finish, _ = neighbor_alltoallv_typed_begin(
+        comm,
+        neighbors,
+        sendbuf,
+        sendcounts,
+        senddispls,
+        sendtypes,
+        recvbuf,
+        recvcounts,
+        recvdispls,
+        recvtypes,
     )
-    recv_sections = build_sections(
-        comm, recv, neighbors, recvcounts, recvdispls, recvtypes, "recv"
-    )
-    typed_exchange(comm, send, send_sections, recv, recv_sections)
+    finish()

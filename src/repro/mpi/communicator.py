@@ -261,13 +261,23 @@ class Communicator:
         source: int = ANY_SOURCE,
         tag: int = ANY_TAG,
     ) -> Request:
-        """Nonblocking receive (``MPI_Irecv``); matching happens at ``Wait``."""
+        """Nonblocking receive (``MPI_Irecv``); matching happens at ``Wait``.
+
+        ``Test`` completes the receive once a matching message is present
+        *and* virtually arrived (its ``available_at`` has passed on this
+        rank's clock) — mailbox presence alone would make ``Test`` outcomes
+        depend on the wall-clock thread schedule.
+        """
         self._check_peer(source, allow_any=True)
 
         def complete() -> Status:
             return self.Recv(spec, source, tag)
 
-        return Request("recv", complete=complete)
+        def ready() -> bool:
+            envelope = self.router.probe(self.rank, source, tag, self.context)
+            return envelope is not None and envelope.available_at <= self.clock.now
+
+        return Request("recv", complete=complete, ready=ready)
 
     def Sendrecv(
         self,
@@ -433,6 +443,99 @@ class Communicator:
                 recvdispls,
                 recvtypes,
             )
+
+    # ------------------------------------------------- nonblocking collectives
+    @staticmethod
+    def _collective_request(pending) -> Request:
+        """Wrap a collective's deferred receive phase in a :class:`Request`."""
+        finish, ready = pending
+
+        def complete() -> Status:
+            finish()
+            return Status()
+
+        return Request("coll", complete=complete, ready=ready)
+
+    def Ialltoallv(
+        self,
+        sendbuf: BufferLike,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf: BufferLike,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtypes: Optional[_collectives.TypesArg] = None,
+        recvtypes: Optional[_collectives.TypesArg] = None,
+    ) -> Request:
+        """Nonblocking ``MPI_Ialltoallv`` (byte or datatype-carrying form).
+
+        Outgoing sections are validated, packed and posted immediately; the
+        receive (and unpack) side is deferred to the returned request's
+        ``Wait``/``Test``.  Like all collectives, every rank must post it in
+        the same order and eventually complete it.
+        """
+        if (sendtypes is None) != (recvtypes is None):
+            raise MpiArgumentError("sendtypes and recvtypes must be given together")
+        if sendtypes is None:
+            pending = _collectives.alltoallv_begin(
+                self, sendbuf, sendcounts, senddispls, recvbuf, recvcounts, recvdispls
+            )
+        else:
+            pending = _collectives.alltoallv_typed_begin(
+                self,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                sendtypes,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                recvtypes,
+            )
+        return self._collective_request(pending)
+
+    def Ineighbor_alltoallv(
+        self,
+        neighbors: Sequence[int],
+        sendbuf: BufferLike,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf: BufferLike,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtypes: Optional[_collectives.TypesArg] = None,
+        recvtypes: Optional[_collectives.TypesArg] = None,
+    ) -> Request:
+        """Nonblocking ``MPI_Ineighbor_alltoallv`` over an explicit neighbour list."""
+        if (sendtypes is None) != (recvtypes is None):
+            raise MpiArgumentError("sendtypes and recvtypes must be given together")
+        if sendtypes is None:
+            pending = _collectives.neighbor_alltoallv_begin(
+                self,
+                neighbors,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+            )
+        else:
+            pending = _collectives.neighbor_alltoallv_typed_begin(
+                self,
+                neighbors,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                sendtypes,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                recvtypes,
+            )
+        return self._collective_request(pending)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Communicator rank {self.rank}/{self.size} ctx={self.context}>"

@@ -16,9 +16,17 @@ class Request:
     * ``Isend`` performs its local work (datatype packing, posting the
       envelope) immediately and records the virtual time at which the send
       buffer may be reused; ``Wait`` advances the caller's clock there.
-    * ``Irecv`` defers matching to ``Wait``/``Test``; because sends never
-      block on a thread level, deferring receives cannot deadlock.
+    * ``Irecv`` (and the receive side of nonblocking collectives) defers
+      matching and unpacking to ``Wait``/``Test``; because sends never block
+      on a thread level, deferring receives cannot deadlock.
+
+    ``complete`` runs the deferred work and returns its :class:`Status`;
+    ``ready`` is an optional nonblocking readiness probe (e.g. a router
+    probe) that lets :meth:`Test` finish a deferred receive without blocking
+    once its message has arrived.
     """
+
+    KINDS = ("send", "recv", "coll", "null")
 
     def __init__(
         self,
@@ -27,13 +35,15 @@ class Request:
         complete: Optional[Callable[[], Status]] = None,
         completion_time: Optional[float] = None,
         clock=None,
+        ready: Optional[Callable[[], bool]] = None,
     ) -> None:
-        if kind not in ("send", "recv", "null"):
+        if kind not in self.KINDS:
             raise MpiError(f"unknown request kind {kind!r}")
         self.kind = kind
         self._complete = complete
         self._completion_time = completion_time
         self._clock = clock
+        self._ready = ready
         self._done = False
         self._status = Status()
 
@@ -52,9 +62,10 @@ class Request:
     def Test(self) -> tuple[bool, Optional[Status]]:
         """Nonblocking completion check.
 
-        Receives only complete through :meth:`Wait` in this simulation, so
-        ``Test`` reports False for them until ``Wait`` has been called; sends
-        complete as soon as their completion time has passed on the clock.
+        Sends complete as soon as their completion time has passed on the
+        clock.  Deferred receives complete through :meth:`Wait`; when the
+        request carries a readiness probe and the probe reports the message
+        present, ``Test`` runs the (now nonblocking) completion itself.
         """
         if self._done:
             return True, self._status
@@ -62,6 +73,8 @@ class Request:
             if self._clock.now >= self._completion_time:
                 self._done = True
                 return True, self._status
+        if self._ready is not None and self._ready():
+            return True, self.Wait()
         return False, None
 
     @property
@@ -79,15 +92,39 @@ class Request:
     def Waitany(requests: list["Request"]) -> tuple[int, Status]:
         """Wait for (at least) one request; returns ``(index, status)``.
 
-        The simulation completes them in order, which satisfies the MPI
-        contract (any completed request may be returned).
+        Per the MPI contract, an already-completed (or nonblockingly
+        completable) active request is returned before blocking on anything;
+        only when no request can complete without waiting does ``Waitany``
+        block — on the first active request, which the deadlock-free
+        simulation guarantees will eventually finish.  A list of nothing but
+        null requests can never complete an operation — MPI returns
+        ``MPI_UNDEFINED`` there, and a caller looping on ``Waitany`` until
+        every request finishes would spin forever — so it raises instead.
         """
         if not requests:
             raise MpiError("Waitany requires at least one request")
-        for index, request in enumerate(requests):
-            if not request.completed:
-                return index, request.Wait()
-        return 0, requests[0].Wait()
+        active = [index for index, request in enumerate(requests) if request.kind != "null"]
+        if not active:
+            raise MpiError(
+                "Waitany on a list of null requests would never complete an operation"
+            )
+        for index in active:
+            if requests[index].completed:
+                return index, requests[index].Wait()
+        for index in active:
+            done, status = requests[index].Test()
+            if done:
+                return index, status
+        index = active[0]
+        return index, requests[index].Wait()
+
+    @staticmethod
+    def Testall(requests: list["Request"]) -> tuple[bool, Optional[list[Status]]]:
+        """Nonblocking :meth:`Waitall`: all-done flag plus statuses when done."""
+        outcomes = [request.Test() for request in requests]
+        if all(done for done, _ in outcomes):
+            return True, [status for _, status in outcomes]
+        return False, None
 
 
 #: A request that is already complete (``MPI_REQUEST_NULL`` analogue).

@@ -33,3 +33,13 @@ class Status:
         if datatype.size == 0:
             return 0
         return self.count_bytes // datatype.size
+
+    def copy_from(self, other: "Status") -> "Status":
+        """Copy another status's completion fields into this (caller-supplied)
+        object; returns self.  The one place the ``status=`` out-parameter
+        convention of the receive calls is implemented."""
+        self.source = other.source
+        self.tag = other.tag
+        self.count_bytes = other.count_bytes
+        self.cancelled = other.cancelled
+        return self

@@ -175,10 +175,16 @@ class World:
         return max(self.clocks)
 
     def reset_clocks(self) -> None:
-        """Reset every rank's clock to zero (between benchmark repetitions)."""
+        """Reset every rank's clock to zero (between benchmark repetitions).
+
+        Every stream of every runtime is reset with the clock — the plan
+        executor runs pack kernels on cached per-peer streams, whose ready
+        times would otherwise leak across repetitions.
+        """
         for ctx in self.contexts:
             ctx.clock.reset()
-            ctx.gpu.default_stream._ready_time = 0.0  # noqa: SLF001 - world owns its runtimes
+            for stream in ctx.gpu._streams:  # noqa: SLF001 - world owns its runtimes
+                stream._ready_time = 0.0  # noqa: SLF001
 
     def shutdown(self) -> None:
         """Tear the world down, waking any blocked receiver."""

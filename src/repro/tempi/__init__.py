@@ -33,21 +33,48 @@ counted by :class:`~repro.tempi.interposer.InterposerStats`
 application (:mod:`repro.apps.stencil`, ``mode="neighbor"``) rides this path
 instead of its hand-rolled pack/exchange/unpack loops;
 ``benchmarks/bench_fig13_alltoallv.py`` measures it against the baseline.
+
+Every accelerated operation — blocking or nonblocking — compiles to a
+:class:`~repro.tempi.plan.MessagePlan` of typed pack/post/unpack stages and
+runs through the :class:`~repro.tempi.executor.PlanExecutor`, which overlaps
+pack kernels on per-peer streams with wire time (``TempiConfig.overlap``);
+``Isend`` / ``Irecv`` / ``Ialltoallv`` / ``Ineighbor_alltoallv`` return
+:class:`~repro.mpi.request.Request` objects whose ``Wait``/``Test`` drive the
+deferred receive-side unpacks.  ``benchmarks/bench_fig14_overlap.py`` measures
+the overlapped engine against the serial one.
 """
 
 from repro.tempi.canonicalize import canonicalize, simplify
 from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.executor import PlanExecutor
 from repro.tempi.interposer import Tempi, TempiCommunicator
 from repro.tempi.ir import DenseData, StreamData, Type
 from repro.tempi.measurement import SystemMeasurement, measure_system
 from repro.tempi.perf_model import PerformanceModel
+from repro.tempi.plan import (
+    MessagePlan,
+    PackStage,
+    PlanError,
+    PlanSection,
+    PostStage,
+    UnpackStage,
+    compile_exchange,
+    compile_recv,
+    compile_send,
+)
 from repro.tempi.strided_block import StridedBlock, to_strided_block
 from repro.tempi.translate import TranslationError, translate
 
 __all__ = [
     "DenseData",
+    "MessagePlan",
     "PackMethod",
+    "PackStage",
     "PerformanceModel",
+    "PlanError",
+    "PlanExecutor",
+    "PlanSection",
+    "PostStage",
     "StreamData",
     "StridedBlock",
     "SystemMeasurement",
@@ -56,7 +83,11 @@ __all__ = [
     "TempiConfig",
     "TranslationError",
     "Type",
+    "UnpackStage",
     "canonicalize",
+    "compile_exchange",
+    "compile_recv",
+    "compile_send",
     "measure_system",
     "simplify",
     "to_strided_block",

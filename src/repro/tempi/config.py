@@ -39,6 +39,12 @@ class TempiConfig:
     send_handling: bool = True
     #: Packing-method policy for sends.
     method: PackMethod = PackMethod.AUTO
+    #: Overlap pack kernels with wire time: the plan executor issues each
+    #: peer's pack on its own stream and posts that peer's message the moment
+    #: its pack completes.  ``False`` reproduces the serial engine (pack every
+    #: peer, then post) for ablations — ``bench_fig14_overlap.py`` measures
+    #: the difference.
+    overlap: bool = True
     #: Reuse streams, intermediate buffers and model query results (Sec. 5).
     use_cache: bool = True
     #: Where the system-measurement file lives; None keeps it in memory only.

@@ -1,0 +1,389 @@
+"""The plan executor: stages to kernels, copies and wire messages.
+
+A :class:`~repro.tempi.plan.MessagePlan` says *what* moves; this module
+decides *when*.  Two schedules are supported, selected by
+``TempiConfig.overlap``:
+
+**Overlapped** (the default).  Every pack stage is issued on its own stream
+from the resource cache and the host returns after the launch overhead; the
+matching post stage hands the message to the wire at the stage's stream
+completion time, with transfers to distinct peers serialising on the NIC at
+the same occupancy factor the analytic all-to-all-v model uses.  Pack kernels
+for peer *k+1* therefore run while peer *k*'s bytes are on the wire — the
+pipeline the paper's halo applications build by hand with
+``Isend``/``Irecv``/``Waitall``.  Receive sides defer to ``Request.Wait``:
+each arriving peer's unpack is issued on its own stream and the host
+synchronises once at the end.
+
+**Serial** (``overlap=False``, the PR-1 engine, kept for ablations and
+``bench_fig14_overlap.py``).  Stages run in plan order with a host
+synchronisation after every pack/unpack, messages are posted only after their
+pack completes on the host clock, and the wire is charged analytically at the
+end — pack time and wire time add up instead of overlapping.
+
+Both schedules move exactly the same bytes; only the virtual-time accounting
+differs, which is what makes serial-vs-overlap comparisons isolate the
+scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.memory import MemoryKind
+from repro.machine.network import DEFAULT_WIRE_OVERLAP
+from repro.mpi.collectives import _next_collective_tag, _receive_raw
+from repro.mpi.errors import MpiTruncationError
+from repro.mpi.p2p import Envelope
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.tempi.cache import ResourceCache
+from repro.tempi.config import PackMethod
+from repro.tempi.plan import (
+    MessagePlan,
+    PackStage,
+    PlanError,
+    UnpackStage,
+    staging_kind,
+)
+
+
+class _StagingTracker:
+    """Per-execution view of the cache's keyed staging buffers.
+
+    Keyed stages bind to persistent per-peer buffers (the reuse of Sec. 5);
+    keyless stages check transient buffers out of the size-bucketed pool.
+    With caching off there is nothing to hold persistent buffers either, so
+    the tracker releases every acquisition when the execution ends instead of
+    leaking one allocation per peer per call.
+    """
+
+    def __init__(self, cache: ResourceCache) -> None:
+        self.cache = cache
+        self._transient: list = []
+
+    def get(self, key, nbytes: int, kind: MemoryKind):
+        if key is None:
+            buffer = self.cache.get_buffer(nbytes, kind)
+            self._transient.append(buffer)
+            return buffer
+        buffer = self.cache.get_persistent(key, nbytes, kind)
+        if not self.cache.enabled:
+            self._transient.append(buffer)
+        return buffer
+
+    def release(self) -> None:
+        for buffer in self._transient:
+            self.cache.put_buffer(buffer)
+        self._transient.clear()
+
+
+class PlanExecutor:
+    """Executes :class:`MessagePlan` objects against one rank's communicator."""
+
+    def __init__(
+        self,
+        comm,
+        cache: ResourceCache,
+        stats=None,
+        *,
+        overlap: bool = True,
+        wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+    ) -> None:
+        self.comm = comm
+        self.cache = cache
+        self.stats = stats
+        self.overlap = overlap
+        self.wire_overlap = wire_overlap
+
+    # ------------------------------------------------------------------ entry
+    def execute(self, plan: MessagePlan) -> Request:
+        """Run a plan's send side now; return the request that drives the rest.
+
+        * ``send`` plans return a send request (completion at buffer-reuse
+          time for nonblocking plans, at wire-completion time for blocking
+          ones);
+        * ``recv`` plans return a receive request whose ``Wait`` matches the
+          message and unpacks it;
+        * collective plans pack and post every outgoing peer immediately and
+          return a request whose ``Wait`` receives and unpacks every incoming
+          peer (the deferred-unpack side).
+        """
+        if self.stats is not None:
+            self.stats.plans_built += 1
+        if plan.op == "send":
+            return self._execute_send(plan)
+        if plan.op == "recv":
+            return self._execute_recv(plan)
+        return self._execute_exchange(plan)
+
+    # ---------------------------------------------------------------- helpers
+    def _arrived(self, peer: int, tag: int) -> bool:
+        """True when a matching envelope is present *and* virtually arrived.
+
+        Mailbox presence alone is a wall-clock artefact of the thread
+        scheduler; gating on ``available_at`` keeps ``Test`` deterministic in
+        virtual time (a receive is completable only once its message's wire
+        time has passed on this rank's clock).
+        """
+        comm = self.comm
+        envelope = comm.router.probe(comm.rank, peer, tag, comm.context)
+        return envelope is not None and envelope.available_at <= comm.clock.now
+
+    @staticmethod
+    def _host_key(staging_key):
+        """The pinned-host bounce buffer's key for a staged-method stage."""
+        if staging_key is None:
+            return None
+        scope, role, peer, _ = staging_key
+        return (scope, role + "-host", peer, MemoryKind.HOST_PINNED)
+
+    def _pack_stage(self, stage: PackStage, source, staging: _StagingTracker, stream):
+        """Issue one pack stage; returns ``(payload_buffer, ready_time)``.
+
+        ``ready_time`` is the virtual time at which the packed bytes are
+        wire-ready: the stream completion of the kernels (plus the explicit
+        D2H bounce for the staged method).  In serial mode the host has
+        already synchronised past it.
+        """
+        comm = self.comm
+        kind = staging_kind(stage.method)
+        buffer = staging.get(stage.staging_key, stage.nbytes, kind)
+        sync = stream is None
+        offset = 0
+        for section in stage.sections:
+            section.packer.pack(
+                comm.gpu,
+                source.view(section.displ) if section.displ else source,
+                buffer,
+                section.count,
+                dst_offset=offset,
+                stream=stream,
+                sync=sync,
+            )
+            offset += section.packed_bytes
+        if stage.method is PackMethod.STAGED:
+            host = staging.get(
+                self._host_key(stage.staging_key), stage.nbytes, MemoryKind.HOST_PINNED
+            )
+            comm.gpu.memcpy_async(host, buffer, stage.nbytes, stream=stream)
+            if sync:
+                comm.gpu.stream_synchronize()
+            buffer = host
+        stage.stream = stream
+        ready = stream.ready_time if stream is not None else comm.clock.now
+        return buffer, ready
+
+    def _unpack_stage(self, stage: UnpackStage, payload: np.ndarray, dest, staging, stream):
+        """Scatter one peer's packed payload into the user buffer."""
+        comm = self.comm
+        kind = staging_kind(stage.method)
+        buffer = staging.get(stage.staging_key, stage.nbytes, kind)
+        sync = stream is None
+        nbytes = min(stage.nbytes, int(payload.nbytes))
+        if stage.method is PackMethod.STAGED:
+            host = staging.get(
+                self._host_key(stage.staging_key), stage.nbytes, MemoryKind.HOST_PINNED
+            )
+            host.data[:nbytes] = payload[:nbytes]
+            comm.gpu.memcpy_async(buffer, host, nbytes, stream=stream)
+            if sync:
+                comm.gpu.stream_synchronize()
+        else:
+            buffer.data[:nbytes] = payload[:nbytes]
+        offset = 0
+        for section in stage.sections:
+            section.packer.unpack(
+                comm.gpu,
+                buffer,
+                dest.view(section.displ) if section.displ else dest,
+                section.count,
+                src_offset=offset,
+                stream=stream,
+                sync=sync,
+            )
+            offset += section.packed_bytes
+        stage.stream = stream
+
+    def _post(self, peer: int, tag: int, payload_buffer, nbytes: int, available_at: float) -> None:
+        self.comm.router.post(
+            Envelope(
+                source=self.comm.rank,
+                dest=peer,
+                tag=tag,
+                context=self.comm.context,
+                payload=np.ascontiguousarray(payload_buffer.data[:nbytes], dtype=np.uint8).copy(),
+                available_at=available_at,
+                device=payload_buffer.is_device,
+            )
+        )
+
+    def _injection_overhead(self) -> float:
+        return self.comm.network.message_cost(0, same_node=True, device_buffers=False).latency_s
+
+    def _run_local(self, plan: MessagePlan, staging: _StagingTracker) -> None:
+        """Self-sections bounce through device staging without the wire."""
+        pack_stage, unpack_stage = plan.local
+        buffer, _ = self._pack_stage(pack_stage, plan.send_buffer, staging, None)
+        self._unpack_stage(
+            unpack_stage, buffer.data[: pack_stage.nbytes], plan.recv_buffer, staging, None
+        )
+
+    # -------------------------------------------------------------------- send
+    def _execute_send(self, plan: MessagePlan) -> Request:
+        comm = self.comm
+        stage = plan.pack_stages[0]
+        post = plan.post_stages[0]
+        staging = _StagingTracker(self.cache)
+        stream = self.cache.get_stream() if self.overlap else None
+        try:
+            payload, ready = self._pack_stage(stage, plan.send_buffer, staging, stream)
+            wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
+            self._post(post.peer, plan.tag, payload, post.nbytes, ready + wire)
+        finally:
+            staging.release()
+            if stream is not None:
+                self.cache.put_stream(stream)
+        if self.stats is not None and self.overlap:
+            self.stats.stages_overlapped += 1
+        completion = ready + self._injection_overhead() if plan.nonblocking else ready + wire
+        return Request("send", completion_time=completion, clock=comm.clock)
+
+    # -------------------------------------------------------------------- recv
+    def _execute_recv(self, plan: MessagePlan) -> Request:
+        comm = self.comm
+        stage = plan.unpack_stages[0]
+
+        def complete() -> Status:
+            if plan.nonblocking and self.stats is not None:
+                self.stats.deferred_unpacks += 1
+            envelope = comm.router.receive(comm.rank, stage.peer, plan.tag, comm.context)
+            comm.clock.advance_to(envelope.available_at)
+            if envelope.nbytes > stage.nbytes:
+                raise MpiTruncationError(
+                    f"message of {envelope.nbytes} bytes truncates a receive of "
+                    f"{stage.nbytes} bytes"
+                )
+            staging = _StagingTracker(self.cache)
+            try:
+                self._unpack_stage(stage, envelope.payload, plan.recv_buffer, staging, None)
+            finally:
+                staging.release()
+            return Status(
+                source=envelope.source, tag=envelope.tag, count_bytes=envelope.nbytes
+            )
+
+        def ready() -> bool:
+            return self._arrived(stage.peer, plan.tag)
+
+        return Request("recv", complete=complete, ready=ready)
+
+    # --------------------------------------------------------------- exchange
+    def _execute_exchange(self, plan: MessagePlan) -> Request:
+        comm = self.comm
+        if plan.tag is None:
+            plan.tag = _next_collective_tag(comm)
+        tag = plan.tag
+        staging = _StagingTracker(self.cache)
+        streams: list = []
+        try:
+            if self.overlap:
+                nic_free = comm.clock.now
+                for post in plan.post_stages:
+                    stream = self.cache.get_stream()
+                    streams.append(stream)
+                    payload, ready = self._pack_stage(post.pack, plan.send_buffer, staging, stream)
+                    wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
+                    start = max(ready, nic_free)
+                    nic_free = start + self.wire_overlap * wire
+                    self._post(post.peer, tag, payload, post.nbytes, start + wire)
+                if self.stats is not None:
+                    self.stats.stages_overlapped += len(plan.post_stages)
+            else:
+                for post in plan.post_stages:
+                    payload, ready = self._pack_stage(post.pack, plan.send_buffer, staging, None)
+                    self._post(post.peer, tag, payload, post.nbytes, comm.clock.now)
+            if plan.local is not None:
+                self._run_local(plan, staging)
+        finally:
+            for stream in streams:
+                self.cache.put_stream(stream)
+            staging.release()
+
+        def complete() -> Status:
+            if plan.nonblocking and self.stats is not None:
+                self.stats.deferred_unpacks += len(plan.unpack_stages)
+            recv_staging = _StagingTracker(self.cache)
+            recv_streams: list = []
+            latest = comm.clock.now
+            try:
+                for stage in plan.unpack_stages:
+                    envelope = _receive_raw(comm, stage.peer, tag)
+                    if envelope.nbytes != stage.nbytes:
+                        raise PlanError(
+                            f"rank {comm.rank} expected {stage.nbytes} packed bytes from "
+                            f"{stage.peer}, got {envelope.nbytes}"
+                        )
+                    latest = max(latest, envelope.available_at)
+                    if self.overlap:
+                        comm.clock.advance_to(envelope.available_at)
+                        stream = self.cache.get_stream()
+                        recv_streams.append(stream)
+                        self._unpack_stage(
+                            stage, envelope.payload, plan.recv_buffer, recv_staging, stream
+                        )
+                    else:
+                        self._unpack_stage(
+                            stage, envelope.payload, plan.recv_buffer, recv_staging, None
+                        )
+                if self.overlap:
+                    for stream in recv_streams:
+                        comm.gpu.stream_synchronize(stream)
+                    if self.stats is not None:
+                        self.stats.stages_overlapped += len(plan.unpack_stages)
+                else:
+                    comm.clock.advance_to(latest)
+                    self._charge_serial_wire(plan)
+            finally:
+                for stream in recv_streams:
+                    self.cache.put_stream(stream)
+                recv_staging.release()
+            return Status()
+
+        def ready() -> bool:
+            return all(self._arrived(stage.peer, tag) for stage in plan.unpack_stages)
+
+        return Request("coll", complete=complete, ready=ready)
+
+    def _charge_serial_wire(self, plan: MessagePlan) -> None:
+        """The serial engine's analytic wire charge, split by transfer path."""
+        comm = self.comm
+        pair_methods: dict[int, PackMethod] = {}
+        for post in plan.post_stages:
+            pair_methods[post.peer] = post.pack.method
+        for stage in plan.unpack_stages:
+            pair_methods.setdefault(stage.peer, stage.method)
+        sent = {post.peer: post.nbytes for post in plan.post_stages}
+        received = {stage.peer: stage.nbytes for stage in plan.unpack_stages}
+        device_pairs = [0] * comm.size
+        host_pairs = [0] * comm.size
+        for peer, method in pair_methods.items():
+            nbytes = max(sent.get(peer, 0), received.get(peer, 0))
+            if method is PackMethod.DEVICE:
+                device_pairs[peer] = nbytes
+            else:
+                host_pairs[peer] = nbytes
+        if any(device_pairs):
+            comm.clock.advance(
+                comm.network.alltoallv_time(
+                    device_pairs, comm.topology, comm.rank, device_buffers=True
+                )
+            )
+        if any(host_pairs):
+            comm.clock.advance(
+                comm.network.alltoallv_time(
+                    host_pairs, comm.topology, comm.rank, device_buffers=False
+                )
+            )

@@ -9,11 +9,21 @@ structure with plain object composition:
 * :class:`TempiCommunicator` exposes the same call surface as
   :class:`repro.mpi.communicator.Communicator`;
 * the calls TEMPI accelerates (``Type_commit``, ``Pack``, ``Unpack``,
-  ``Send``, ``Recv``, and the datatype-carrying ``Alltoallv`` /
-  ``Neighbor_alltoallv``) are overridden here;
+  ``Send``/``Isend``, ``Recv``/``Irecv``, and the datatype-carrying
+  ``Alltoallv`` / ``Neighbor_alltoallv`` with their nonblocking forms) are
+  overridden here;
 * every other attribute falls through to the underlying communicator via
   ``__getattr__`` — the analogue of unresolved symbols binding to the system
   MPI.
+
+Every accelerated operation is **compiled to a**
+:class:`~repro.tempi.plan.MessagePlan` — typed pack/post/unpack stages
+carrying method selection and staging keys — and run by the per-rank
+:class:`~repro.tempi.executor.PlanExecutor`, which issues pack kernels on
+per-peer streams and posts each peer's wire transfer as soon as its pack
+completes.  The blocking calls are plan → execute → wait one-liners; the
+nonblocking calls return the executor's :class:`~repro.mpi.request.Request`
+directly, deferring the receive-side unpack to ``Wait``/``Test``.
 
 Applications written against the system MPI therefore run unmodified against
 either object, which is how the examples and benchmarks switch between the
@@ -33,14 +43,18 @@ from repro.gpu.memory import Buffer
 from repro.mpi import collectives as _collectives
 from repro.mpi.communicator import Communicator, as_buffer
 from repro.mpi.datatype import Datatype
+from repro.mpi.request import Request
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
 from repro.tempi import methods
+from repro.tempi import plan as _plan
 from repro.tempi.cache import ResourceCache
 from repro.tempi.canonicalize import simplify
 from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.executor import PlanExecutor
 from repro.tempi.measurement import SystemMeasurement, measure_system
 from repro.tempi.packer import Packer
 from repro.tempi.perf_model import PerformanceModel
+from repro.tempi.plan import MessagePlan, PlanSection
 from repro.tempi.strided_block import to_strided_block
 from repro.tempi.translate import TranslationError, translate
 
@@ -92,7 +106,29 @@ class InterposerStats:
     #: system MPI (one count per collective call, not per message).
     collective_hits: int = 0
     collective_fallbacks: int = 0
+    #: Plans run by the executor (one per accelerated operation).
+    plans_built: int = 0
+    #: Pack/unpack stages issued on per-peer streams without blocking the
+    #: host — the stages whose device time overlapped wire time.
+    stages_overlapped: int = 0
+    #: Receive-side unpacks deferred from a nonblocking call to ``Wait``.
+    deferred_unpacks: int = 0
     method_counts: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        methods_repr = ",".join(
+            f"{name}={count}" for name, count in sorted(self.method_counts.items())
+        )
+        return (
+            "InterposerStats("
+            f"commits={self.commits}/{self.accelerated_commits} "
+            f"packs={self.packs} sends={self.sends} recvs={self.recvs} "
+            f"fallbacks={self.fallbacks} "
+            f"collectives={self.collective_hits}+{self.collective_fallbacks}fb "
+            f"plans={self.plans_built} overlapped={self.stages_overlapped} "
+            f"deferred_unpacks={self.deferred_unpacks} "
+            f"methods=[{methods_repr}])"
+        )
 
 
 class Tempi:
@@ -139,6 +175,9 @@ class TempiCommunicator:
         self.tempi = library if library is not None else Tempi(
             comm.gpu, comm.network.machine, config, model
         )
+        self._executor = PlanExecutor(
+            comm, self.tempi.cache, self.tempi.stats, overlap=config.overlap
+        )
 
     # ------------------------------------------------------------ passthrough
     def __getattr__(self, name: str):
@@ -154,6 +193,11 @@ class TempiCommunicator:
     @property
     def stats(self) -> InterposerStats:
         return self.tempi.stats
+
+    @property
+    def executor(self) -> PlanExecutor:
+        """The plan executor running this rank's accelerated operations."""
+        return self._executor
 
     # ----------------------------------------------------------------- commit
     def Type_commit(self, datatype: Datatype) -> Datatype:
@@ -262,9 +306,9 @@ class TempiCommunicator:
             self._comm, handler.packer, source, position, buffer, count
         )
 
-    # -------------------------------------------------------------------- send
-    def Send(self, spec, dest: int, tag: int = 0) -> None:
-        """``MPI_Send`` with datatype acceleration and method selection."""
+    # ------------------------------------------------------- p2p plan compilers
+    def _compile_p2p_send(self, spec, dest: int, tag: int, *, nonblocking: bool):
+        """Compile a send to a plan, or return None for the system path."""
         buffer, count, datatype = self._comm._resolve(spec)
         handler = (
             self._can_accelerate(datatype, buffer)
@@ -272,8 +316,8 @@ class TempiCommunicator:
             else None
         )
         if handler is None or handler.packer.block.is_contiguous:
-            self._comm.Send(spec, dest, tag)
-            return
+            return None
+        self._comm._check_peer(dest)
         self._charge_interposition_overhead()
         nbytes = handler.packer.packed_size(count)
         method = self._select_method(handler.packer, nbytes)
@@ -282,18 +326,12 @@ class TempiCommunicator:
             self.tempi.stats.method_counts.get(method.value, 0) + 1
         )
         handler.uses += 1
-        methods.send_packed(
-            self._comm, self.tempi.cache, handler.packer, method, buffer, count, dest, tag
+        return _plan.compile_send(
+            handler.packer, buffer, count, dest, tag, method, nonblocking=nonblocking
         )
 
-    def Recv(
-        self,
-        spec,
-        source: int = ANY_SOURCE,
-        tag: int = ANY_TAG,
-        status: Optional[Status] = None,
-    ) -> Status:
-        """``MPI_Recv`` with datatype acceleration and method selection."""
+    def _compile_p2p_recv(self, spec, source: int, tag: int, *, nonblocking: bool):
+        """Compile a receive to a plan, or return None for the system path."""
         buffer, count, datatype = self._comm._resolve(spec)
         handler = (
             self._can_accelerate(datatype, buffer)
@@ -301,7 +339,8 @@ class TempiCommunicator:
             else None
         )
         if handler is None or handler.packer.block.is_contiguous:
-            return self._comm.Recv(spec, source, tag, status)
+            return None
+        self._comm._check_peer(source, allow_any=True)
         self._charge_interposition_overhead()
         nbytes = handler.packer.packed_size(count)
         method = self._select_method(handler.packer, nbytes)
@@ -310,17 +349,50 @@ class TempiCommunicator:
             self.tempi.stats.method_counts.get(method.value, 0) + 1
         )
         handler.uses += 1
-        return methods.recv_packed(
-            self._comm,
-            self.tempi.cache,
-            handler.packer,
-            method,
-            buffer,
-            count,
-            source,
-            tag,
-            status,
+        return _plan.compile_recv(
+            handler.packer, buffer, count, source, tag, method, nonblocking=nonblocking
         )
+
+    @staticmethod
+    def _into_status(result: Status, status: Optional[Status]) -> Status:
+        return result if status is None else status.copy_from(result)
+
+    # -------------------------------------------------------------------- send
+    def Send(self, spec, dest: int, tag: int = 0) -> None:
+        """``MPI_Send``: compile to a plan, execute, wait."""
+        plan = self._compile_p2p_send(spec, dest, tag, nonblocking=False)
+        if plan is None:
+            self._comm.Send(spec, dest, tag)
+            return
+        self._executor.execute(plan).Wait()
+
+    def Isend(self, spec, dest: int, tag: int = 0) -> Request:
+        """``MPI_Isend``: the plan's pack runs on its own stream; the request
+        completes when the user buffer is reusable (pack done + injection)."""
+        plan = self._compile_p2p_send(spec, dest, tag, nonblocking=True)
+        if plan is None:
+            return self._comm.Isend(spec, dest, tag)
+        return self._executor.execute(plan)
+
+    def Recv(
+        self,
+        spec,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Optional[Status] = None,
+    ) -> Status:
+        """``MPI_Recv``: compile to a plan, execute, wait."""
+        plan = self._compile_p2p_recv(spec, source, tag, nonblocking=False)
+        if plan is None:
+            return self._comm.Recv(spec, source, tag, status)
+        return self._into_status(self._executor.execute(plan).Wait(), status)
+
+    def Irecv(self, spec, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """``MPI_Irecv``: matching and unpacking deferred to ``Wait``/``Test``."""
+        plan = self._compile_p2p_recv(spec, source, tag, nonblocking=True)
+        if plan is None:
+            return self._comm.Irecv(spec, source, tag)
+        return self._executor.execute(plan)
 
     # ------------------------------------------------------------- collectives
     def _collective_sections(
@@ -331,8 +403,8 @@ class TempiCommunicator:
         displs: Sequence[int],
         types,
         what: str,
-    ) -> Optional[tuple[list[methods.PackedSection], list[TypeHandler]]]:
-        """Build the packed-section plan of one typed-collective side.
+    ) -> Optional[tuple[list[PlanSection], list[TypeHandler]]]:
+        """Build the plan-section list of one typed-collective side.
 
         Arguments are validated with the system path's own checks first, so
         invalid calls raise the same MPI errors whichever path runs.  Returns
@@ -356,14 +428,13 @@ class TempiCommunicator:
                 return None
             handlers.append(handler)
             sections.append(
-                methods.PackedSection(section.peer, section.count, section.displ, handler.packer)
+                PlanSection(section.peer, section.count, section.displ, handler.packer)
             )
         return sections, handlers
 
-    def _packed_collective(
+    def _collective_request(
         self,
-        engine,
-        system_call,
+        op: str,
         peers: Sequence[int],
         sendbuf,
         sendcounts,
@@ -373,16 +444,22 @@ class TempiCommunicator:
         recvcounts,
         recvdispls,
         recvtypes,
-    ) -> None:
-        """Common accelerate-or-fall-back logic of the two typed collectives."""
+        *,
+        nonblocking: bool,
+    ) -> Optional[Request]:
+        """Compile a typed collective to a plan and start it.
+
+        Returns the request driving the deferred receive side, or ``None``
+        when the call is not TEMPI's business (byte or half-specified
+        signature, interposition disabled) or must fall back (host buffers,
+        unhandled datatypes) — the caller then runs the system path.
+        """
         if sendtypes is None or recvtypes is None:
             # The byte signature (or a half-specified typed one, which the
             # system path rejects) is not TEMPI's business.
-            system_call()
-            return
+            return None
         if not (self.config.enabled and self.config.datatype_handling):
-            system_call()
-            return
+            return None
         send = as_buffer(sendbuf)
         recv = as_buffer(recvbuf)
         send_plan = self._collective_sections(
@@ -395,32 +472,32 @@ class TempiCommunicator:
         )
         if send_plan is None or recv_plan is None:
             self.tempi.stats.collective_fallbacks += 1
-            system_call()
-            return
+            return None
         send_sections, send_handlers = send_plan
         recv_sections, recv_handlers = recv_plan
         if not (send_sections or recv_sections):
             self.tempi.stats.collective_fallbacks += 1
-            system_call()
-            return
+            return None
         # Both sides confirmed accelerable: only now count the handler uses.
         for handler in send_handlers + recv_handlers:
             handler.uses += 1
         self._charge_interposition_overhead()
         self.tempi.stats.collective_hits += 1
-        counts = engine(
-            self._comm,
-            self.tempi.cache,
-            self._select_method,
+        plan: MessagePlan = _plan.compile_exchange(
+            self._comm.rank,
             send,
             send_sections,
             recv,
             recv_sections,
+            self._select_method,
+            op=op,
+            nonblocking=nonblocking,
         )
-        for name, hits in counts.items():
+        for name, hits in plan.method_counts().items():
             self.tempi.stats.method_counts[name] = (
                 self.tempi.stats.method_counts.get(name, 0) + hits
             )
+        return self._executor.execute(plan)
 
     def Alltoallv(
         self,
@@ -436,23 +513,14 @@ class TempiCommunicator:
     ) -> None:
         """``MPI_Alltoallv`` with datatype acceleration (Sec. 5, extended).
 
-        The datatype-carrying form packs each destination's sections with one
-        kernel through the commit-time packer and stages them per the model's
-        per-message method choice; the byte form, contiguous or uncommitted
-        datatypes, and host buffers all fall through to the system MPI.
+        The datatype-carrying form compiles to a :class:`MessagePlan` — one
+        pack kernel per destination, per-message method selection, per-peer
+        persistent staging — executed with pack/wire overlap; the byte form,
+        contiguous or uncommitted datatypes, and host buffers all fall
+        through to the system MPI.
         """
-        self._packed_collective(
-            methods.alltoallv_packed,
-            lambda: self._comm.Alltoallv(
-                sendbuf,
-                sendcounts,
-                senddispls,
-                recvbuf,
-                recvcounts,
-                recvdispls,
-                sendtypes=sendtypes,
-                recvtypes=recvtypes,
-            ),
+        request = self._collective_request(
+            "alltoallv",
             list(range(self._comm.size)),
             sendbuf,
             sendcounts,
@@ -462,7 +530,61 @@ class TempiCommunicator:
             recvcounts,
             recvdispls,
             recvtypes,
+            nonblocking=False,
         )
+        if request is None:
+            self._comm.Alltoallv(
+                sendbuf,
+                sendcounts,
+                senddispls,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtypes=sendtypes,
+                recvtypes=recvtypes,
+            )
+            return
+        request.Wait()
+
+    def Ialltoallv(
+        self,
+        sendbuf,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtypes=None,
+        recvtypes=None,
+    ) -> Request:
+        """Nonblocking ``MPI_Ialltoallv``: packs and posts now, receives and
+        unpacks at ``Wait``/``Test`` (the deferred-unpack side of the plan)."""
+        request = self._collective_request(
+            "alltoallv",
+            list(range(self._comm.size)),
+            sendbuf,
+            sendcounts,
+            senddispls,
+            sendtypes,
+            recvbuf,
+            recvcounts,
+            recvdispls,
+            recvtypes,
+            nonblocking=True,
+        )
+        if request is None:
+            return self._comm.Ialltoallv(
+                sendbuf,
+                sendcounts,
+                senddispls,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtypes=sendtypes,
+                recvtypes=recvtypes,
+            )
+        return request
 
     def Neighbor_alltoallv(
         self,
@@ -478,19 +600,8 @@ class TempiCommunicator:
         recvtypes=None,
     ) -> None:
         """``MPI_Neighbor_alltoallv`` accelerated symmetrically to :meth:`Alltoallv`."""
-        self._packed_collective(
-            methods.neighbor_packed,
-            lambda: self._comm.Neighbor_alltoallv(
-                neighbors,
-                sendbuf,
-                sendcounts,
-                senddispls,
-                recvbuf,
-                recvcounts,
-                recvdispls,
-                sendtypes=sendtypes,
-                recvtypes=recvtypes,
-            ),
+        request = self._collective_request(
+            "neighbor_alltoallv",
             list(neighbors),
             sendbuf,
             sendcounts,
@@ -500,7 +611,63 @@ class TempiCommunicator:
             recvcounts,
             recvdispls,
             recvtypes,
+            nonblocking=False,
         )
+        if request is None:
+            self._comm.Neighbor_alltoallv(
+                neighbors,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtypes=sendtypes,
+                recvtypes=recvtypes,
+            )
+            return
+        request.Wait()
+
+    def Ineighbor_alltoallv(
+        self,
+        neighbors: Sequence[int],
+        sendbuf,
+        sendcounts: Sequence[int],
+        senddispls: Sequence[int],
+        recvbuf,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtypes=None,
+        recvtypes=None,
+    ) -> Request:
+        """Nonblocking neighbour collective over the same plan engine."""
+        request = self._collective_request(
+            "neighbor_alltoallv",
+            list(neighbors),
+            sendbuf,
+            sendcounts,
+            senddispls,
+            sendtypes,
+            recvbuf,
+            recvcounts,
+            recvdispls,
+            recvtypes,
+            nonblocking=True,
+        )
+        if request is None:
+            return self._comm.Ineighbor_alltoallv(
+                neighbors,
+                sendbuf,
+                sendcounts,
+                senddispls,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtypes=sendtypes,
+                recvtypes=recvtypes,
+            )
+        return request
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TempiCommunicator over {self._comm!r} method={self.config.method.value}>"

@@ -1,7 +1,7 @@
-"""The three packing methods for MPI_Send/MPI_Recv (Sec. 4).
+"""The packing methods for MPI_Send/MPI_Recv (Sec. 4), as plan one-liners.
 
-All three move the same packed bytes; they differ in where the intermediate
-contiguous buffer lives and which transfer primitive carries it:
+All three methods move the same packed bytes; they differ in where the
+intermediate contiguous buffer lives and which transfer primitive carries it:
 
 ``device`` (Eq. 1)
     Pack into an intermediate **device** buffer, send it with the CUDA-aware
@@ -16,42 +16,51 @@ contiguous buffer lives and which transfer primitive carries it:
     The paper finds it never wins on Summit (Fig. 9b); it is implemented so
     the benchmark can show the same thing.
 
-The sender and receiver must stage symmetric buffers only in the sense that
-the wire payload is identical packed bytes; each side picks its method from
-its own (identical) model query, as in the paper.
+Since the plan redesign the bespoke per-op engines that used to live here are
+gone: every entry point **compiles to a**
+:class:`~repro.tempi.plan.MessagePlan` and runs it through a
+:class:`~repro.tempi.executor.PlanExecutor` — the same compile → execute →
+wait path the interposer's blocking and nonblocking calls use.  The functions
+below remain as the stable, communicator-level API the tests and benchmarks
+drive directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional
 
-from repro.gpu.memory import MemoryKind
-from repro.mpi.collectives import _next_collective_tag, _post_raw, _receive_raw
-from repro.mpi.datatype import BYTE
 from repro.mpi.status import ANY_SOURCE, ANY_TAG, Status
 from repro.tempi.cache import ResourceCache
 from repro.tempi.config import PackMethod
+from repro.tempi.executor import PlanExecutor
 from repro.tempi.packer import Packer
+from repro.tempi.plan import (
+    MethodSelector,
+    PlanError,
+    PlanSection,
+    compile_exchange,
+    compile_recv,
+    compile_send,
+    staging_kind,
+)
 
-#: The interposer's per-message method policy: ``(packer, nbytes) -> method``.
-#: Routing it through a callback keeps the model-query overhead accounting
-#: (and its memoisation) in the interposer, where the paper charges it.
-MethodSelector = Callable[[Packer, int], PackMethod]
+#: Backwards-compatible names: the section dataclass and error type moved to
+#: :mod:`repro.tempi.plan` with the IR redesign.
+MethodError = PlanError
+PackedSection = PlanSection
+_staging_kind = staging_kind
 
-
-class MethodError(RuntimeError):
-    """A packing method was asked to do something impossible."""
-
-
-def _staging_kind(method: PackMethod) -> MemoryKind:
-    if method is PackMethod.DEVICE:
-        return MemoryKind.DEVICE
-    if method is PackMethod.ONESHOT:
-        return MemoryKind.HOST_MAPPED
-    if method is PackMethod.STAGED:
-        return MemoryKind.DEVICE
-    raise MethodError(f"{method} is not a concrete packing method")
+__all__ = [
+    "MethodError",
+    "MethodSelector",
+    "PackedSection",
+    "alltoallv_packed",
+    "neighbor_packed",
+    "pack_to_user_buffer",
+    "recv_packed",
+    "send_packed",
+    "unpack_from_user_buffer",
+]
 
 
 def send_packed(
@@ -65,22 +74,8 @@ def send_packed(
     tag: int,
 ) -> None:
     """Pack ``count`` objects from ``buffer`` and send them with ``method``."""
-    nbytes = packer.packed_size(count)
-    staging = cache.get_buffer(nbytes, _staging_kind(method))
-    try:
-        packer.pack(comm.gpu, buffer, staging, count)
-        if method is PackMethod.STAGED:
-            host = cache.get_buffer(nbytes, MemoryKind.HOST_PINNED)
-            try:
-                comm.gpu.memcpy_async(host, staging, nbytes)
-                comm.gpu.stream_synchronize()
-                comm.Send((host.view(0, nbytes), nbytes, BYTE), dest, tag)
-            finally:
-                cache.put_buffer(host)
-        else:
-            comm.Send((staging.view(0, nbytes), nbytes, BYTE), dest, tag)
-    finally:
-        cache.put_buffer(staging)
+    plan = compile_send(packer, buffer, count, dest, tag, method)
+    PlanExecutor(comm, cache).execute(plan).Wait()
 
 
 def recv_packed(
@@ -95,151 +90,9 @@ def recv_packed(
     status: Optional[Status] = None,
 ) -> Status:
     """Receive packed objects with ``method`` and unpack them into ``buffer``."""
-    nbytes = packer.packed_size(count)
-    staging = cache.get_buffer(nbytes, _staging_kind(method))
-    try:
-        if method is PackMethod.STAGED:
-            host = cache.get_buffer(nbytes, MemoryKind.HOST_PINNED)
-            try:
-                result = comm.Recv((host.view(0, nbytes), nbytes, BYTE), source, tag, status)
-                comm.gpu.memcpy_async(staging, host, nbytes)
-                comm.gpu.stream_synchronize()
-            finally:
-                cache.put_buffer(host)
-        else:
-            result = comm.Recv((staging.view(0, nbytes), nbytes, BYTE), source, tag, status)
-        packer.unpack(comm.gpu, staging, buffer, count)
-        return result
-    finally:
-        cache.put_buffer(staging)
-
-
-# --------------------------------------------------------------------------- #
-# Packed collectives (the interposed all-to-all-v family)
-# --------------------------------------------------------------------------- #
-
-@dataclass(frozen=True)
-class PackedSection:
-    """One section of an interposed typed collective.
-
-    ``count`` objects of a committed, accelerated datatype starting ``displ``
-    bytes into the user buffer, bound to the :class:`Packer` its commit-time
-    handler cached.  Sections addressed to one peer travel concatenated in
-    section order — the same wire layout as the system path, so the two are
-    interchangeable message-for-message.
-    """
-
-    peer: int
-    count: int
-    displ: int
-    packer: Packer
-
-    @property
-    def packed_bytes(self) -> int:
-        return self.packer.packed_size(self.count) if self.count else 0
-
-
-def _group_sections(sections: Sequence[PackedSection]) -> dict[int, list[PackedSection]]:
-    groups: dict[int, list[PackedSection]] = {}
-    for section in sections:
-        if section.count:
-            groups.setdefault(section.peer, []).append(section)
-    return groups
-
-
-class _CollectiveStaging:
-    """Per-call view of the cache's keyed staging buffers.
-
-    With caching on, buffers stay bound to their ``(role, peer, kind)`` key
-    inside the cache across collective calls (the per-peer reuse of Sec. 5).
-    With caching off there is nothing to hold them, so this tracker releases
-    every acquisition when the call ends — mirroring how ``send_packed``
-    returns its checkout-style buffers — instead of leaking one allocation
-    per peer per call.
-    """
-
-    def __init__(self, cache: ResourceCache) -> None:
-        self.cache = cache
-        self._transient: list = []
-
-    def get(self, key, nbytes: int, kind: MemoryKind):
-        buffer = self.cache.get_persistent(key, nbytes, kind)
-        if not self.cache.enabled:
-            self._transient.append(buffer)
-        return buffer
-
-    def release(self) -> None:
-        for buffer in self._transient:
-            self.cache.put_buffer(buffer)
-        self._transient.clear()
-
-
-def _pack_group(
-    comm,
-    staging_of: _CollectiveStaging,
-    group: Sequence[PackedSection],
-    method: PackMethod,
-    send,
-    peer: int,
-    role: str,
-):
-    """Pack one peer's sections into (persistent) staging; returns the bytes.
-
-    The staging buffer is keyed by peer and kind so an iterative application
-    finds the same buffer on every exchange (Sec. 5's reuse argument, applied
-    per collective destination instead of per send).
-    """
-    total = sum(section.packed_bytes for section in group)
-    kind = _staging_kind(method)
-    staging = staging_of.get(("collective", role, peer, kind), total, kind)
-    offset = 0
-    for section in group:
-        section.packer.pack(
-            comm.gpu, send.view(section.displ), staging, section.count, dst_offset=offset
-        )
-        offset += section.packed_bytes
-    if method is PackMethod.STAGED:
-        host = staging_of.get(
-            ("collective", role + "-host", peer, MemoryKind.HOST_PINNED),
-            total,
-            MemoryKind.HOST_PINNED,
-        )
-        comm.gpu.memcpy_async(host, staging, total)
-        comm.gpu.stream_synchronize()
-        return host.data[:total]
-    return staging.data[:total]
-
-
-def _unpack_group(
-    comm,
-    staging_of: _CollectiveStaging,
-    group: Sequence[PackedSection],
-    method: PackMethod,
-    payload,
-    recv,
-    peer: int,
-) -> None:
-    """Scatter one peer's concatenated packed payload into the user buffer."""
-    total = sum(section.packed_bytes for section in group)
-    kind = _staging_kind(method)
-    staging = staging_of.get(("collective", "recv", peer, kind), total, kind)
-    if method is PackMethod.STAGED:
-        host = staging_of.get(
-            ("collective", "recv-host", peer, MemoryKind.HOST_PINNED),
-            total,
-            MemoryKind.HOST_PINNED,
-        )
-        host.data[:total] = payload
-        comm.gpu.memcpy_async(staging, host, total)
-        comm.gpu.stream_synchronize()
-    else:
-        staging.data[:total] = payload
-    offset = 0
-    for section in group:
-        section.packer.unpack(
-            comm.gpu, staging, recv.view(section.displ), section.count, src_offset=offset
-        )
-        offset += section.packed_bytes
+    plan = compile_recv(packer, buffer, count, source, tag, method)
+    result = PlanExecutor(comm, cache).execute(plan).Wait()
+    return result if status is None else status.copy_from(result)
 
 
 def alltoallv_packed(
@@ -247,100 +100,23 @@ def alltoallv_packed(
     cache: ResourceCache,
     select: MethodSelector,
     send,
-    send_sections: Sequence[PackedSection],
+    send_sections,
     recv,
-    recv_sections: Sequence[PackedSection],
+    recv_sections,
 ) -> dict[str, int]:
     """TEMPI's datatype-carrying all-to-all-v: one pack kernel per peer.
 
     Where the system path pays one ``cudaMemcpyAsync`` per contiguous block
     of every section, this path packs each peer's segment with a single
     kernel into a cached staging buffer whose memory kind follows the
-    per-message model decision (one-shot → mapped host, device → device,
-    staged → device plus an explicit pinned-host bounce).  The wire is
-    charged with the same analytic all-to-all-v cost as the system path,
-    split by each message's transfer path, so baseline-vs-TEMPI comparisons
-    isolate exactly the datatype handling the paper accelerates.
+    per-message model decision, and — under the default overlapped schedule —
+    posts each peer's wire transfer the moment its pack stream completes.
 
     Returns the per-method message counts (for :class:`InterposerStats`).
     """
-    tag = _next_collective_tag(comm)
-    send_groups = _group_sections(send_sections)
-    recv_groups = _group_sections(recv_sections)
-    now = comm.clock.now
-    pair_methods: dict[int, PackMethod] = {}
-    method_counts: dict[str, int] = {}
-    staging_of = _CollectiveStaging(cache)
-
-    try:
-        # Pack and post every outgoing peer segment.
-        for peer, group in send_groups.items():
-            if peer == comm.rank:
-                continue
-            total = sum(section.packed_bytes for section in group)
-            method = select(group[0].packer, total)
-            pair_methods[peer] = method
-            method_counts[method.value] = method_counts.get(method.value, 0) + 1
-            payload = _pack_group(comm, staging_of, group, method, send, peer, "send")
-            _post_raw(comm, peer, tag, payload.copy(), comm.clock.now)
-
-        # Local sections bounce through device staging without touching the wire.
-        local_send = send_groups.get(comm.rank, [])
-        local_recv = recv_groups.get(comm.rank, [])
-        if sum(s.packed_bytes for s in local_send) != sum(s.packed_bytes for s in local_recv):
-            raise MethodError("self send/recv sections disagree on packed size")
-        if local_send:
-            payload = _pack_group(
-                comm, staging_of, local_send, PackMethod.DEVICE, send, comm.rank, "send"
-            )
-            _unpack_group(
-                comm, staging_of, local_recv, PackMethod.DEVICE, payload, recv, comm.rank
-            )
-
-        # Receive and unpack every incoming peer segment.
-        latest = now
-        for peer, group in recv_groups.items():
-            if peer == comm.rank:
-                continue
-            total = sum(section.packed_bytes for section in group)
-            method = select(group[0].packer, total)
-            pair_methods.setdefault(peer, method)
-            envelope = _receive_raw(comm, peer, tag)
-            if envelope.nbytes != total:
-                raise MethodError(
-                    f"rank {comm.rank} expected {total} packed bytes from {peer}, "
-                    f"got {envelope.nbytes}"
-                )
-            _unpack_group(comm, staging_of, group, method, envelope.payload, recv, peer)
-            latest = max(latest, envelope.available_at)
-    finally:
-        staging_of.release()
-
-    # Charge the wire analytically, splitting pairs by their transfer path.
-    comm.clock.advance_to(latest)
-    device_pairs = [0] * comm.size
-    host_pairs = [0] * comm.size
-    for peer, method in pair_methods.items():
-        sent = sum(s.packed_bytes for s in send_groups.get(peer, []))
-        received = sum(s.packed_bytes for s in recv_groups.get(peer, []))
-        nbytes = max(sent, received)
-        if method is PackMethod.DEVICE:
-            device_pairs[peer] = nbytes
-        else:
-            host_pairs[peer] = nbytes
-    if any(device_pairs):
-        comm.clock.advance(
-            comm.network.alltoallv_time(
-                device_pairs, comm.topology, comm.rank, device_buffers=True
-            )
-        )
-    if any(host_pairs):
-        comm.clock.advance(
-            comm.network.alltoallv_time(
-                host_pairs, comm.topology, comm.rank, device_buffers=False
-            )
-        )
-    return method_counts
+    plan = compile_exchange(comm.rank, send, send_sections, recv, recv_sections, select)
+    PlanExecutor(comm, cache).execute(plan).Wait()
+    return plan.method_counts()
 
 
 def neighbor_packed(
@@ -348,9 +124,9 @@ def neighbor_packed(
     cache: ResourceCache,
     select: MethodSelector,
     send,
-    send_sections: Sequence[PackedSection],
+    send_sections,
     recv,
-    recv_sections: Sequence[PackedSection],
+    recv_sections,
 ) -> dict[str, int]:
     """TEMPI's neighbour all-to-all-v: identical engine, sparse section lists.
 

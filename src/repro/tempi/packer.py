@@ -87,12 +87,20 @@ class Packer:
         dst: Buffer,
         count: int = 1,
         dst_offset: int = 0,
+        *,
+        stream=None,
+        sync: bool = True,
     ) -> int:
         """Gather ``count`` objects from ``src`` into contiguous ``dst``.
 
         Returns the number of bytes written.  The source is the (possibly
         strided) user buffer; the destination decides the strategy: a device
         buffer for the *device* method, a mapped host buffer for *one-shot*.
+
+        With ``stream`` given and ``sync=False`` the kernels are issued on
+        that stream and the host returns after the launch overhead only —
+        the plan executor uses this to overlap per-peer packs with wire time;
+        the stream's ``ready_time`` is the pack's completion time.
         """
         nbytes = self.packed_size(count)
         self._check_buffers(src, dst, count, nbytes, dst_offset, packing=True)
@@ -103,8 +111,8 @@ class Packer:
                 nbytes,
                 dst_offset=dst_offset,
                 src_offset=self.block.start,
+                stream=stream,
             )
-            runtime.stream_synchronize()
         else:
             runtime.launch_pack(
                 src,
@@ -115,9 +123,11 @@ class Packer:
                 count=count,
                 object_extent=self.object_extent,
                 dst_offset=dst_offset,
+                stream=stream,
                 word_size=self.kernel.word_size,
             )
-            runtime.stream_synchronize()
+        if sync:
+            runtime.stream_synchronize(stream)
         self.stats.packs += 1
         self.stats.bytes_packed += nbytes
         return nbytes
@@ -129,6 +139,9 @@ class Packer:
         dst: Buffer,
         count: int = 1,
         src_offset: int = 0,
+        *,
+        stream=None,
+        sync: bool = True,
     ) -> int:
         """Scatter ``count`` packed objects from contiguous ``src`` into ``dst``."""
         nbytes = self.packed_size(count)
@@ -140,8 +153,8 @@ class Packer:
                 nbytes,
                 dst_offset=self.block.start,
                 src_offset=src_offset,
+                stream=stream,
             )
-            runtime.stream_synchronize()
         else:
             runtime.launch_unpack(
                 src,
@@ -152,9 +165,11 @@ class Packer:
                 count=count,
                 object_extent=self.object_extent,
                 src_offset=src_offset,
+                stream=stream,
                 word_size=self.kernel.word_size,
             )
-            runtime.stream_synchronize()
+        if sync:
+            runtime.stream_synchronize(stream)
         self.stats.unpacks += 1
         self.stats.bytes_unpacked += nbytes
         return nbytes

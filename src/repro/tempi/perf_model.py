@@ -147,6 +147,56 @@ class PerformanceModel:
         """The faster of one-shot and device for this object (Sec. 6.3)."""
         return self.estimate(nbytes, block_length).best()
 
+    # ---------------------------------------------------- multi-peer pipelines
+    def _message_parts(self, nbytes: int, block_length: int) -> Tuple[float, float, float]:
+        """(pack, wire, unpack) seconds of one message under its best method."""
+        estimate = self.estimate(nbytes, block_length)
+        if estimate.best() is PackMethod.ONESHOT:
+            strategy, wire = "oneshot", self.transfer_time("cpu_cpu", nbytes)
+        else:
+            strategy, wire = "device", self.transfer_time("gpu_gpu", nbytes)
+        pack = self.pack_time(strategy, "pack", nbytes, block_length)
+        unpack = self.pack_time(strategy, "unpack", nbytes, block_length)
+        return pack, wire, unpack
+
+    def exchange_estimate(
+        self,
+        messages,
+        *,
+        wire_overlap: float = 0.65,
+    ) -> Tuple[float, float]:
+        """Price a multi-peer exchange serially and as an overlapped pipeline.
+
+        ``messages`` is a sequence of ``(nbytes, block_length)`` pairs, one
+        per wire peer; each is priced under its model-chosen method.  Returns
+        ``(serial_s, overlapped_s)``:
+
+        * **serial** — the PR-1 engine: packs back-to-back on the host, the
+          wire as an overlap-discounted serial sum, unpacks back-to-back;
+        * **overlapped** — the plan executor's schedule: packs run
+          concurrently on per-peer streams, each message enters the NIC when
+          its pack completes (serialising at ``wire_overlap`` occupancy), and
+          each peer's unpack starts at its arrival — the makespan of the
+          pipeline's slowest chain.
+        """
+        if not 0 < wire_overlap <= 1:
+            raise ValueError("wire_overlap must be in (0, 1]")
+        parts = [self._message_parts(int(n), int(b)) for n, b in messages]
+        if not parts:
+            return 0.0, 0.0
+        serial = (
+            sum(p for p, _, _ in parts)
+            + wire_overlap * sum(w for _, w, _ in parts)
+            + sum(u for _, _, u in parts)
+        )
+        nic_free = 0.0
+        makespan = 0.0
+        for pack, wire, unpack in sorted(parts, key=lambda p: p[0]):
+            start = max(pack, nic_free)
+            nic_free = start + wire_overlap * wire
+            makespan = max(makespan, start + wire + unpack)
+        return serial, makespan
+
     # ------------------------------------------------------------- inspection
     @property
     def hit_rate(self) -> float:

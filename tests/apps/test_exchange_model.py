@@ -5,7 +5,10 @@ import pytest
 from repro.apps.exchange_model import (
     ExchangeBreakdown,
     halo_exchange_speedup,
+    model_fused_exchange,
     model_halo_exchange,
+    model_overlap_exchange,
+    overlap_speedup,
 )
 from repro.apps.halo import HaloSpec
 
@@ -77,3 +80,100 @@ class TestShapes:
         small = model_halo_exchange(8, 6, spec=small_spec, tempi=True)
         paper = model_halo_exchange(8, 6, tempi=True)
         assert small.total_s < paper.total_s
+
+
+class TestFusedCollectiveModel:
+    """Pricing of the fused datatype-carrying collective (mode="neighbor")."""
+
+    def test_fused_cheaper_than_packed_tempi(self):
+        """Dropping the MPI_Pack loop (and its per-direction overheads) can
+        only help: the fused collective is priced at or below the packed
+        TEMPI exchange."""
+        packed = model_halo_exchange(8, 6, tempi=True)
+        fused = model_fused_exchange(8, 6)
+        assert fused.total_s <= packed.total_s * 1.01
+
+    def test_comm_phase_matches_packed_model(self):
+        packed = model_halo_exchange(8, 6, tempi=True)
+        fused = model_fused_exchange(8, 6)
+        assert fused.comm_s == pytest.approx(packed.comm_s)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            model_fused_exchange(0, 1)
+        with pytest.raises(ValueError):
+            model_overlap_exchange(1, 0)
+
+
+class TestOverlapPipelineModel:
+    """Pricing of the overlapped plan-executor pipeline."""
+
+    def test_phases_partition_the_makespan(self):
+        breakdown = model_overlap_exchange(8, 6)
+        assert breakdown.pack_s > 0
+        assert breakdown.comm_s > 0
+        assert breakdown.total_s == pytest.approx(
+            breakdown.pack_s + breakdown.comm_s + breakdown.unpack_s
+        )
+
+    def test_overlap_wins_when_packs_matter(self):
+        """With sizeable packs per peer the pipeline hides them behind the
+        wire; the fused serial engine pays them up front."""
+        spec = HaloSpec(nx=16, ny=16, nz=16, radius=2, fields=4, bytes_per_field=8)
+        assert overlap_speedup(2, 4, spec=spec) > 1.2
+
+    def test_overlap_comm_dominated_at_paper_scale(self):
+        """At 512x6 the wire dominates either engine; overlap neither helps
+        much nor hurts (the pipeline's last message is undiscounted)."""
+        ratio = overlap_speedup(512, 6)
+        assert 0.8 < ratio < 1.5
+
+    def test_single_rank_is_all_local(self):
+        breakdown = model_overlap_exchange(1, 1)
+        assert breakdown.comm_s == 0.0
+        assert breakdown.total_s > 0
+
+
+class TestAnalyticMatchesSimulation:
+    """The analytic fused/overlap engines against the functional executor.
+
+    One world, 8 ranks on 2 nodes, device method forced so both sides price
+    the same transfer path.  The analytic model ignores barriers and a few
+    scheduling details, so agreement is asserted within 25%.
+    """
+
+    SPEC = HaloSpec(nx=16, ny=16, nz=16, radius=2, fields=4, bytes_per_field=8)
+
+    @pytest.fixture(scope="class")
+    def simulated(self, summit_model):
+        from repro.apps.stencil import HaloExchange
+        from repro.mpi.world import World
+        from repro.tempi.config import PackMethod, TempiConfig
+        from repro.tempi.interposer import interpose
+
+        def run(overlap):
+            config = TempiConfig(overlap=overlap, method=PackMethod.DEVICE)
+
+            def program(ctx):
+                comm = interpose(ctx, config, model=summit_model)
+                app = HaloExchange(ctx, comm, self.SPEC, mode="neighbor")
+                timings = app.run(iterations=2)
+                return timings[-1].total_s
+
+            return max(World(8, ranks_per_node=4).run(program))
+
+        return {"serial": run(False), "overlap": run(True)}
+
+    def test_serial_engine_matches_fused_model(self, simulated):
+        model = model_fused_exchange(2, 4, spec=self.SPEC).total_s
+        assert simulated["serial"] == pytest.approx(model, rel=0.25)
+
+    def test_overlap_engine_matches_pipeline_model(self, simulated):
+        model = model_overlap_exchange(2, 4, spec=self.SPEC).total_s
+        assert simulated["overlap"] == pytest.approx(model, rel=0.25)
+
+    def test_model_and_simulation_agree_on_the_winner(self, simulated):
+        fused = model_fused_exchange(2, 4, spec=self.SPEC).total_s
+        overlapped = model_overlap_exchange(2, 4, spec=self.SPEC).total_s
+        assert overlapped < fused
+        assert simulated["overlap"] < simulated["serial"]

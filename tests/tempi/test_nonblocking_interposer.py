@@ -1,0 +1,290 @@
+"""Tests for the interposer's nonblocking surface (Isend/Irecv/Ialltoallv).
+
+Every accelerated nonblocking call compiles to the same ``MessagePlan`` the
+blocking call uses; these tests pin byte equivalence, the deferred-unpack
+accounting, fallbacks, and the overlap win at the application level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.halo import HaloSpec
+from repro.apps.stencil import HaloExchange
+from repro.mpi.constructors import Type_contiguous, Type_vector
+from repro.mpi.datatype import BYTE
+from repro.mpi.request import Request
+from repro.mpi.world import World
+from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.interposer import InterposerStats, interpose
+
+SMALL = HaloSpec(nx=6, ny=6, nz=6, radius=2, fields=2, bytes_per_field=4)
+
+
+def vector_type(comm, nblocks=64, block=8, pitch=64):
+    return comm.Type_commit(Type_vector(nblocks, block, pitch, BYTE))
+
+
+class TestIsendIrecv:
+    def _roundtrip(self, summit_model, *, nonblocking):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = vector_type(comm)
+            buf = ctx.gpu.malloc(t.extent)
+            if ctx.rank == 0:
+                buf.data[:] = np.arange(buf.nbytes, dtype=np.uint32).astype(np.uint8)
+                if nonblocking:
+                    comm.Isend((buf, 1, t), dest=1).Wait()
+                else:
+                    comm.Send((buf, 1, t), dest=1)
+                return buf.data.copy(), comm.stats.sends, comm.stats.deferred_unpacks
+            if nonblocking:
+                request = comm.Irecv((buf, 1, t), source=0)
+                status = request.Wait()
+            else:
+                status = comm.Recv((buf, 1, t), source=0)
+            assert status.Get_source() == 0
+            return buf.data.copy(), comm.stats.recvs, comm.stats.deferred_unpacks
+
+        return World(2, ranks_per_node=1).run(program)
+
+    def test_nonblocking_equals_blocking_bytes(self, summit_model):
+        (sent_b, _, _), (recv_b, _, _) = self._roundtrip(summit_model, nonblocking=False)
+        (sent_n, _, _), (recv_n, _, _) = self._roundtrip(summit_model, nonblocking=True)
+        assert np.array_equal(sent_b, sent_n)
+        assert np.array_equal(recv_b, recv_n)
+
+    def test_counters_and_deferred_unpack(self, summit_model):
+        (_, sends, _), (_, recvs, deferred) = self._roundtrip(summit_model, nonblocking=True)
+        assert sends == 1
+        assert recvs == 1
+        assert deferred == 1  # the Irecv unpack ran at Wait
+
+    def test_isend_completes_before_wire_time(self, summit_model):
+        """Isend returns a buffer-reuse completion, not wire completion."""
+
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = vector_type(comm, nblocks=2048, block=8, pitch=512)
+            buf = ctx.gpu.malloc(t.extent)
+            if ctx.rank == 0:
+                start = ctx.clock.now
+                comm.Send((buf, 1, t), dest=1, tag=0)
+                blocking = ctx.clock.now - start
+                start = ctx.clock.now
+                comm.Isend((buf, 1, t), dest=1, tag=1).Wait()
+                nonblocking = ctx.clock.now - start
+                assert nonblocking < blocking
+                return True
+            comm.Recv((buf, 1, t), source=0, tag=0)
+            comm.Recv((buf, 1, t), source=0, tag=1)
+            return True
+
+        assert all(World(2, ranks_per_node=1).run(program))
+
+    def test_irecv_test_completes_when_message_arrives(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = vector_type(comm)
+            buf = ctx.gpu.malloc(t.extent)
+            if ctx.rank == 0:
+                comm.Send((buf, 1, t), dest=1)
+                comm.Barrier()
+                return True
+            request = comm.Irecv((buf, 1, t), source=0)
+            comm.Barrier()  # after the barrier the message must have been posted
+            done, status = request.Test()
+            assert done and status is not None
+            return True
+
+        assert all(World(2, ranks_per_node=1).run(program))
+
+    def test_contiguous_type_falls_back_to_system_requests(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = comm.Type_commit(Type_contiguous(256, BYTE))
+            buf = ctx.gpu.malloc(256)
+            if ctx.rank == 0:
+                buf.data[:] = 9
+                comm.Isend((buf, 1, t), dest=1).Wait()
+            else:
+                comm.Irecv((buf, 1, t), source=0).Wait()
+                assert (buf.data == 9).all()
+            return comm.stats.sends + comm.stats.recvs
+
+        assert World(2, ranks_per_node=1).run(program) == [0, 0]
+
+
+class TestIalltoallvInterposed:
+    def _typed(self, ctx, comm, *, nonblocking, device=True):
+        datatype = vector_type(comm)
+        size = comm.Get_size()
+        alloc = ctx.gpu.malloc if device else (lambda n: np.zeros(n, dtype=np.uint8))
+        send = alloc(datatype.extent * size)
+        recv = alloc(datatype.extent * size)
+        (send.data if device else send)[:] = (ctx.rank + 1) % 251
+        counts = [1] * size
+        displs = [peer * datatype.extent for peer in range(size)]
+        if nonblocking:
+            comm.Ialltoallv(
+                send, counts, displs, recv, counts, displs,
+                sendtypes=datatype, recvtypes=datatype,
+            ).Wait()
+        else:
+            comm.Alltoallv(
+                send, counts, displs, recv, counts, displs,
+                sendtypes=datatype, recvtypes=datatype,
+            )
+        return (recv.data if device else recv).copy()
+
+    def test_nonblocking_equals_blocking(self, summit_model):
+        def program(ctx, nonblocking):
+            comm = interpose(ctx, model=summit_model)
+            return self._typed(ctx, comm, nonblocking=nonblocking)
+
+        blocking = World(4, ranks_per_node=2).run(program, False)
+        deferred = World(4, ranks_per_node=2).run(program, True)
+        for a, b in zip(blocking, deferred):
+            assert np.array_equal(a, b)
+
+    def test_hit_and_deferred_unpack_counters(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            self._typed(ctx, comm, nonblocking=True)
+            return (
+                comm.stats.collective_hits,
+                comm.stats.deferred_unpacks,
+                comm.stats.plans_built,
+            )
+
+        for hits, deferred, plans in World(4, ranks_per_node=2).run(program):
+            assert hits == 1
+            assert deferred == 3  # one deferred unpack per wire peer
+            assert plans == 1
+
+    def test_host_buffers_fall_back_but_stay_correct(self, summit_model):
+        def program(ctx, nonblocking):
+            comm = interpose(ctx, model=summit_model)
+            recv = self._typed(ctx, comm, nonblocking=nonblocking, device=False)
+            return recv, comm.stats.collective_fallbacks
+
+        blocking = World(2, ranks_per_node=2).run(program, False)
+        deferred = World(2, ranks_per_node=2).run(program, True)
+        for (a, fb_a), (b, fb_b) in zip(blocking, deferred):
+            assert np.array_equal(a, b)
+            assert fb_a == 1 and fb_b == 1
+
+    def test_overlapping_two_collectives(self, summit_model):
+        """Two Ialltoallv in flight complete in either Wait order."""
+
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = vector_type(comm)
+            size = comm.Get_size()
+            send = ctx.gpu.malloc(t.extent * size)
+            recv_a = ctx.gpu.malloc(t.extent * size)
+            recv_b = ctx.gpu.malloc(t.extent * size)
+            send.data[:] = (ctx.rank + 1) % 251
+            counts = [1] * size
+            displs = [p * t.extent for p in range(size)]
+            first = comm.Ialltoallv(
+                send, counts, displs, recv_a, counts, displs, sendtypes=t, recvtypes=t
+            )
+            second = comm.Ialltoallv(
+                send, counts, displs, recv_b, counts, displs, sendtypes=t, recvtypes=t
+            )
+            Request.Waitall([second, first])
+            assert np.array_equal(recv_a.data, recv_b.data)
+            return True
+
+        assert all(World(2, ranks_per_node=1).run(program))
+
+
+class TestHaloOverlapMode:
+    def test_overlap_mode_verifies_under_both_comms(self, summit_model):
+        def program(ctx, use_tempi):
+            comm = interpose(ctx, model=summit_model) if use_tempi else ctx.comm
+            app = HaloExchange(ctx, comm, SMALL, mode="overlap")
+            app.run(iterations=2, verify=True)
+            return True
+
+        assert all(World(4, ranks_per_node=2).run(program, False))
+        assert all(World(4, ranks_per_node=2).run(program, True))
+
+    def test_overlap_mode_matches_other_modes_ghosts(self, summit_model):
+        def program(ctx, mode):
+            comm = interpose(ctx, model=summit_model)
+            app = HaloExchange(ctx, comm, SMALL, mode=mode)
+            app.fill_interior()
+            app.exchange()
+            return app.local.data.copy()
+
+        neighbor = World(4, ranks_per_node=2).run(program, "neighbor")
+        overlap = World(4, ranks_per_node=2).run(program, "overlap")
+        for a, b in zip(neighbor, overlap):
+            assert np.array_equal(a, b)
+
+    def test_overlapped_engine_beats_serial_engine(self, summit_model):
+        """The acceptance claim at unit scale: same app, same plans, the
+        overlapped schedule wins on a multi-peer halo exchange."""
+
+        def program(ctx, overlap):
+            config = TempiConfig(overlap=overlap)
+            comm = interpose(ctx, config, model=summit_model)
+            app = HaloExchange(ctx, comm, SMALL, mode="neighbor")
+            timings = app.run(iterations=2)
+            return timings[-1].total_s
+
+        serial = max(World(8, ranks_per_node=4).run(program, False))
+        overlapped = max(World(8, ranks_per_node=4).run(program, True))
+        assert overlapped < serial
+
+
+class TestStatsRepr:
+    def test_counters_and_repr_surface_plan_state(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            self_stats = comm.stats
+            t = vector_type(comm)
+            size = comm.Get_size()
+            send = ctx.gpu.malloc(t.extent * size)
+            recv = ctx.gpu.malloc(t.extent * size)
+            counts = [1] * size
+            displs = [p * t.extent for p in range(size)]
+            comm.Ialltoallv(
+                send, counts, displs, recv, counts, displs, sendtypes=t, recvtypes=t
+            ).Wait()
+            return repr(self_stats), self_stats
+
+        for text, stats in World(2, ranks_per_node=1).run(program):
+            assert stats.plans_built == 1
+            assert stats.stages_overlapped >= 2  # 1 pack + 1 unpack overlapped
+            assert stats.deferred_unpacks == 1
+            assert "plans=1" in text
+            assert "deferred_unpacks=1" in text
+            assert f"overlapped={stats.stages_overlapped}" in text
+
+    def test_repr_of_fresh_stats(self):
+        text = repr(InterposerStats())
+        assert text.startswith("InterposerStats(")
+        assert "plans=0" in text and "methods=[]" in text
+
+
+@pytest.mark.parametrize("method", [PackMethod.DEVICE, PackMethod.ONESHOT, PackMethod.STAGED])
+def test_forced_methods_work_nonblocking(summit_model, method):
+    config = TempiConfig(method=method)
+
+    def program(ctx):
+        comm = interpose(ctx, config, model=summit_model)
+        t = vector_type(comm, nblocks=32, block=16, pitch=64)
+        buf = ctx.gpu.malloc(t.extent)
+        if ctx.rank == 0:
+            buf.data[:] = np.arange(buf.nbytes, dtype=np.uint16).astype(np.uint8)
+            comm.Isend((buf, 1, t), dest=1).Wait()
+            return buf.data.copy()
+        comm.Irecv((buf, 1, t), source=0).Wait()
+        return buf.data.copy()
+
+    sent, received = World(2, ranks_per_node=1).run(program)
+    for i in range(32):
+        begin = i * 64
+        assert np.array_equal(received[begin : begin + 16], sent[begin : begin + 16])

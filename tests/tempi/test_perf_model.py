@@ -105,3 +105,44 @@ class TestMemoisation:
 
     def test_hit_rate_zero_before_queries(self, summit_measurement):
         assert PerformanceModel(summit_measurement).hit_rate == 0.0
+
+
+class TestExchangeEstimate:
+    """Costing of overlapped stages: (serial, overlapped) pipeline estimates."""
+
+    MESSAGES = [(64 * KIB, 8), (128 * KIB, 8), (256 * KIB, 8), (64 * KIB, 8)]
+
+    def test_overlapped_never_exceeds_serial(self, summit_model):
+        serial, overlapped = summit_model.exchange_estimate(self.MESSAGES)
+        assert overlapped <= serial
+
+    def test_single_message_has_no_overlap_win(self, summit_model):
+        """One message is one chain: serial and overlapped coincide up to the
+        wire-overlap discount of the serial sum."""
+        serial, overlapped = summit_model.exchange_estimate([(MIB, 8)], wire_overlap=1.0)
+        assert overlapped == pytest.approx(serial)
+
+    def test_empty_exchange_is_free(self, summit_model):
+        assert summit_model.exchange_estimate([]) == (0.0, 0.0)
+
+    def test_more_peers_grow_both_estimates(self, summit_model):
+        serial_2, overlapped_2 = summit_model.exchange_estimate(self.MESSAGES[:2])
+        serial_4, overlapped_4 = summit_model.exchange_estimate(self.MESSAGES)
+        assert serial_4 > serial_2
+        assert overlapped_4 > overlapped_2
+
+    def test_overlap_win_grows_with_peer_count(self, summit_model):
+        """More peers mean more pack time hidden behind the wire."""
+        def win(messages):
+            serial, overlapped = summit_model.exchange_estimate(messages)
+            return serial / overlapped
+
+        few = win(self.MESSAGES[:2])
+        many = win(self.MESSAGES * 3)
+        assert many >= few
+
+    def test_invalid_wire_overlap_rejected(self, summit_model):
+        with pytest.raises(ValueError):
+            summit_model.exchange_estimate(self.MESSAGES, wire_overlap=0.0)
+        with pytest.raises(ValueError):
+            summit_model.exchange_estimate(self.MESSAGES, wire_overlap=1.5)
