@@ -1,0 +1,313 @@
+"""The ``MessagePlan`` IR: every interposed operation as typed stages.
+
+TEMPI's accelerated operations all decompose into the same three stage
+kinds:
+
+* a :class:`PackStage` gathers one peer's sections from the (strided) user
+  buffer into a contiguous staging buffer with one kernel per section;
+* a :class:`PostStage` hands the packed bytes to the wire as soon as its
+  pack stage's kernels complete;
+* an :class:`UnpackStage` scatters one peer's packed bytes from staging into
+  the user buffer.
+
+``Send`` is one pack + one post; ``Recv`` is one unpack; the datatype-carrying
+``Alltoallv`` / ``Neighbor_alltoallv`` are one pack/post/unpack triple per
+peer plus an off-wire local stage pair for self-sections.  Compiling an
+operation to a :class:`MessagePlan` *before* touching the GPU or the wire is
+what lets the :class:`~repro.tempi.executor.PlanExecutor` schedule stages for
+overlap: every stage already carries its method selection, its staging-buffer
+key and (once executing) its GPU stream, so the executor is free to issue
+pack kernels on per-peer streams and post each peer's transfer the moment its
+pack completes instead of packing everything first and posting serially.
+
+The compilers here are pure: they validate, group sections per peer, and run
+the per-message method selection (through the caller's selector callback, so
+model-query overhead stays charged where the paper charges it).  No bytes
+move until the executor runs the plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.gpu.memory import Buffer, MemoryKind
+from repro.gpu.stream import Stream
+from repro.tempi.config import PackMethod
+from repro.tempi.packer import Packer
+
+#: The per-message method policy: ``(packer, nbytes) -> method``.  Routing it
+#: through a callback keeps the model-query overhead accounting (and its
+#: memoisation) in the interposer, where the paper charges it.
+MethodSelector = Callable[[Packer, int], PackMethod]
+
+
+class PlanError(RuntimeError):
+    """A plan was asked to describe something impossible."""
+
+
+def staging_kind(method: PackMethod) -> MemoryKind:
+    """Where a method's intermediate buffer lives (Sec. 4)."""
+    if method is PackMethod.DEVICE:
+        return MemoryKind.DEVICE
+    if method is PackMethod.ONESHOT:
+        return MemoryKind.HOST_MAPPED
+    if method is PackMethod.STAGED:
+        return MemoryKind.DEVICE
+    raise PlanError(f"{method} is not a concrete packing method")
+
+
+@dataclass(frozen=True)
+class PlanSection:
+    """One section of a plan stage.
+
+    ``count`` objects of a committed, accelerated datatype starting ``displ``
+    bytes into the user buffer, bound to the :class:`Packer` its commit-time
+    handler cached.  Sections addressed to one peer travel concatenated in
+    section order — the same wire layout as the system path, so the two are
+    interchangeable message-for-message.
+    """
+
+    peer: int
+    count: int
+    displ: int
+    packer: Packer
+
+    @property
+    def packed_bytes(self) -> int:
+        return self.packer.packed_size(self.count) if self.count else 0
+
+
+@dataclass
+class PackStage:
+    """Gather one peer's sections into a contiguous staging buffer."""
+
+    peer: int
+    sections: tuple[PlanSection, ...]
+    method: PackMethod
+    nbytes: int
+    #: Key of the persistent per-peer staging buffer; ``None`` checks a
+    #: transient buffer out of the size-bucketed pool instead (p2p sends).
+    staging_key: Optional[Hashable] = None
+    #: The stream the executor issued this stage's kernels on (set at run time).
+    stream: Optional[Stream] = None
+
+
+@dataclass
+class PostStage:
+    """Hand one peer's packed bytes to the wire.
+
+    Depends on exactly one :class:`PackStage`; the executor posts the message
+    the moment that stage's kernels complete on its stream.
+    """
+
+    peer: int
+    nbytes: int
+    pack: PackStage = field(repr=False)
+
+
+@dataclass
+class UnpackStage:
+    """Scatter one peer's packed bytes from staging into the user buffer."""
+
+    peer: int
+    sections: tuple[PlanSection, ...]
+    method: PackMethod
+    nbytes: int
+    staging_key: Optional[Hashable] = None
+    stream: Optional[Stream] = None
+
+
+@dataclass
+class MessagePlan:
+    """One operation, compiled to stages.
+
+    ``tag`` is fixed at compile time for point-to-point plans and assigned by
+    the executor (from the communicator's collective sequence) for collective
+    plans, so that every rank of a collective agrees on it.
+    """
+
+    op: str  # "send" | "recv" | "alltoallv" | "neighbor_alltoallv"
+    send_buffer: Optional[Buffer] = None
+    recv_buffer: Optional[Buffer] = None
+    pack_stages: list[PackStage] = field(default_factory=list)
+    post_stages: list[PostStage] = field(default_factory=list)
+    unpack_stages: list[UnpackStage] = field(default_factory=list)
+    #: Off-wire self-exchange: packed through device staging, never posted.
+    local: Optional[tuple[PackStage, UnpackStage]] = None
+    tag: Optional[int] = None
+    #: Nonblocking plans defer unpack to ``Request.Wait`` and complete their
+    #: send side at buffer-reuse time instead of wire-completion time.
+    nonblocking: bool = False
+
+    @property
+    def nstages(self) -> int:
+        local = 2 if self.local is not None else 0
+        return len(self.pack_stages) + len(self.post_stages) + len(self.unpack_stages) + local
+
+    def method_counts(self) -> dict[str, int]:
+        """Wire messages per method (one per post stage), for stats."""
+        counts: dict[str, int] = {}
+        for post in self.post_stages:
+            name = post.pack.method.value
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+
+# --------------------------------------------------------------------------- #
+# Compilers
+# --------------------------------------------------------------------------- #
+
+def compile_send(
+    packer: Packer,
+    buffer: Buffer,
+    count: int,
+    dest: int,
+    tag: int,
+    method: PackMethod,
+    *,
+    nonblocking: bool = False,
+) -> MessagePlan:
+    """Compile ``MPI_Send``/``MPI_Isend`` of one strided object group."""
+    section = PlanSection(dest, count, 0, packer)
+    stage = PackStage(
+        peer=dest,
+        sections=(section,),
+        method=method,
+        nbytes=section.packed_bytes,
+    )
+    return MessagePlan(
+        op="send",
+        send_buffer=buffer,
+        pack_stages=[stage],
+        post_stages=[PostStage(peer=dest, nbytes=stage.nbytes, pack=stage)],
+        tag=tag,
+        nonblocking=nonblocking,
+    )
+
+
+def compile_recv(
+    packer: Packer,
+    buffer: Buffer,
+    count: int,
+    source: int,
+    tag: int,
+    method: PackMethod,
+    *,
+    nonblocking: bool = False,
+) -> MessagePlan:
+    """Compile ``MPI_Recv``/``MPI_Irecv`` of one strided object group."""
+    section = PlanSection(source, count, 0, packer)
+    stage = UnpackStage(
+        peer=source,
+        sections=(section,),
+        method=method,
+        nbytes=section.packed_bytes,
+    )
+    return MessagePlan(
+        op="recv",
+        recv_buffer=buffer,
+        unpack_stages=[stage],
+        tag=tag,
+        nonblocking=nonblocking,
+    )
+
+
+def _group_sections(sections: Sequence[PlanSection]) -> dict[int, list[PlanSection]]:
+    groups: dict[int, list[PlanSection]] = {}
+    for section in sections:
+        if section.count:
+            groups.setdefault(section.peer, []).append(section)
+    return groups
+
+
+def compile_exchange(
+    rank: int,
+    send_buffer: Buffer,
+    send_sections: Sequence[PlanSection],
+    recv_buffer: Buffer,
+    recv_sections: Sequence[PlanSection],
+    select: MethodSelector,
+    *,
+    op: str = "alltoallv",
+    nonblocking: bool = False,
+) -> MessagePlan:
+    """Compile a datatype-carrying all-to-all-v (dense or neighbour).
+
+    One pack/post pair per outgoing wire peer, one unpack per incoming wire
+    peer, and a local stage pair for self-sections; each wire peer's method is
+    selected per message through ``select``.  Staging keys preserve the
+    per-``(role, peer, kind)`` binding of the resource cache so iterative
+    applications find the same buffers on every exchange (Sec. 5).
+    """
+    send_groups = _group_sections(send_sections)
+    recv_groups = _group_sections(recv_sections)
+
+    local_send = send_groups.get(rank, [])
+    local_recv = recv_groups.get(rank, [])
+    if sum(s.packed_bytes for s in local_send) != sum(s.packed_bytes for s in local_recv):
+        raise PlanError("self send/recv sections disagree on packed size")
+
+    pack_stages: list[PackStage] = []
+    post_stages: list[PostStage] = []
+    for peer, group in send_groups.items():
+        if peer == rank:
+            continue
+        nbytes = sum(section.packed_bytes for section in group)
+        method = select(group[0].packer, nbytes)
+        stage = PackStage(
+            peer=peer,
+            sections=tuple(group),
+            method=method,
+            nbytes=nbytes,
+            staging_key=("collective", "send", peer, staging_kind(method)),
+        )
+        pack_stages.append(stage)
+        post_stages.append(PostStage(peer=peer, nbytes=nbytes, pack=stage))
+
+    local: Optional[tuple[PackStage, UnpackStage]] = None
+    if local_send:
+        nbytes = sum(section.packed_bytes for section in local_send)
+        local = (
+            PackStage(
+                peer=rank,
+                sections=tuple(local_send),
+                method=PackMethod.DEVICE,
+                nbytes=nbytes,
+                staging_key=("collective", "send", rank, staging_kind(PackMethod.DEVICE)),
+            ),
+            UnpackStage(
+                peer=rank,
+                sections=tuple(local_recv),
+                method=PackMethod.DEVICE,
+                nbytes=nbytes,
+                staging_key=("collective", "recv", rank, staging_kind(PackMethod.DEVICE)),
+            ),
+        )
+
+    unpack_stages: list[UnpackStage] = []
+    for peer, group in recv_groups.items():
+        if peer == rank:
+            continue
+        nbytes = sum(section.packed_bytes for section in group)
+        method = select(group[0].packer, nbytes)
+        unpack_stages.append(
+            UnpackStage(
+                peer=peer,
+                sections=tuple(group),
+                method=method,
+                nbytes=nbytes,
+                staging_key=("collective", "recv", peer, staging_kind(method)),
+            )
+        )
+
+    return MessagePlan(
+        op=op,
+        send_buffer=send_buffer,
+        recv_buffer=recv_buffer,
+        pack_stages=pack_stages,
+        post_stages=post_stages,
+        unpack_stages=unpack_stages,
+        local=local,
+        nonblocking=nonblocking,
+    )
