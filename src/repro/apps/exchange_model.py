@@ -18,7 +18,11 @@ Three engines are priced:
 * :func:`model_overlap_exchange` — the overlapped plan-executor pipeline:
   per-peer packs run concurrently, each message enters the NIC when its pack
   completes, and each peer's unpack starts at its arrival, so the exchange
-  costs the slowest chain instead of the sum of phases.
+  costs the slowest chain instead of the sum of phases;
+* :func:`model_contended_exchange` — the same pipeline with ``plans``
+  concurrent exchanges sharing one rank's injection port and links (the
+  :class:`~repro.machine.nic.NicTimeline` rules), with a per-plan ablation;
+  :func:`overlap_efficiency` is the Fig. 15 degradation curve.
 
 Because every rank owns an identical sub-domain and the decomposition is
 periodic, ranks are statistically identical; the model evaluates one
@@ -33,6 +37,7 @@ from dataclasses import dataclass
 
 from repro.apps.halo import DIRECTIONS, HaloSpec, RankGrid
 from repro.machine.network import DEFAULT_WIRE_OVERLAP, NetworkModel
+from repro.machine.nic import NicTimeline
 from repro.machine.spec import SUMMIT, MachineSpec
 from repro.machine.topology import Topology
 from repro.tempi.config import TempiConfig
@@ -236,9 +241,57 @@ def model_overlap_exchange(
     run concurrently on per-peer streams, plus the off-wire self-exchange),
     ``comm_s`` the additional time until the last arrival, ``unpack_s`` the
     tail (unpack launches and the final per-stream synchronisations).
+
+    A single plan never revisits a NIC cursor, so this is exactly
+    :func:`model_contended_exchange` at ``plans=1``.
+    """
+    return model_contended_exchange(
+        nodes,
+        ranks_per_node,
+        plans=1,
+        spec=spec,
+        machine=machine,
+        config=config,
+        wire_overlap=wire_overlap,
+    )
+
+
+def model_contended_exchange(
+    nodes: int,
+    ranks_per_node: int,
+    *,
+    plans: int = 1,
+    spec: HaloSpec | None = None,
+    machine: MachineSpec = SUMMIT,
+    config: TempiConfig | None = None,
+    wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+    shared_nic: bool = True,
+) -> ExchangeBreakdown:
+    """Price ``plans`` concurrent overlapped exchanges sharing one rank's NIC.
+
+    The contention-aware companion of :func:`model_overlap_exchange`: every
+    message of every plan reserves its slot against the *same* injection-port
+    cursor (occupied for ``wire_overlap`` of each message's wire time, the
+    :class:`~repro.machine.nic.NicTimeline` port rule) and against a per-peer
+    link cursor on which repeat messages to one peer serialise fully (the
+    timeline's link rule).  ``shared_nic=False`` gives each plan a private
+    port cursor instead — the PR-2 ``progress="per_plan"`` accounting, which
+    prices concurrent plans as if the NIC were infinitely wide.
+
+    With ``plans=1`` the schedule reduces to :func:`model_overlap_exchange`'s
+    exactly.  As ``plans`` grows the shared port saturates, so the **overlap
+    efficiency** — the per-plan (uncontended) makespan over the shared
+    (contended) one — degrades monotonically from 1.0 toward the injection
+    bound; ``bench_fig15_contention.py`` measures the same ratio functionally.
+
+    The returned breakdown covers the whole ``plans``-wide burst: ``pack_s``
+    until the last pack is wire-ready, ``comm_s`` until the last arrival,
+    ``unpack_s`` the receive tail.
     """
     if nodes <= 0 or ranks_per_node <= 0:
         raise ValueError("nodes and ranks_per_node must be positive")
+    if plans <= 0:
+        raise ValueError(f"plans must be positive, got {plans}")
     spec = spec if spec is not None else HaloSpec.paper()
     config = config if config is not None else TempiConfig()
     nranks = nodes * ranks_per_node
@@ -251,8 +304,6 @@ def model_overlap_exchange(
     overhead = config.handler_lookup_s + config.pointer_check_s
 
     def kernel_device_s(direction, *, unpack: bool) -> float:
-        # Stream-resident duration: the launch overhead is charged to the
-        # host clock separately, exactly as the simulated runtime does.
         return (
             gpu.kernel_time(
                 spec.halo_bytes(direction),
@@ -268,35 +319,38 @@ def model_overlap_exchange(
     representatives = range(min(grid.nranks, topology.ranks_per_node))
     for rank in representatives:
         groups = _send_groups(grid, rank)
-        host = overhead  # handler lookup + pointer check, once per exchange
-        nic_free = host
-        arrivals: list[tuple[list, float]] = []
-        last_pack = host
-        for peer, directions in groups.items():
-            ready = host
-            for direction in directions:
-                host += launch_s
-                ready = max(ready, host) + kernel_device_s(direction, unpack=False)
-            nbytes = sum(spec.halo_bytes(d) for d in directions)
-            wire = network.message_time(
-                nbytes,
-                same_node=topology.same_node(rank, peer),
-                device_buffers=True,
-            )
-            start = max(ready, nic_free)
-            nic_free = start + wire_overlap * wire
-            arrivals.append((directions, start + wire))
-            last_pack = max(last_pack, ready)
-        # Off-wire self-exchange: packed and unpacked synchronously on the
-        # host while the per-peer streams work.
         local_dirs = [d for d, peer in grid.neighbors(rank) if peer == rank]
-        for direction in local_dirs:
-            host += launch_s + kernel_device_s(direction, unpack=False) + sync_s
-        for direction in local_dirs:
-            host += launch_s + kernel_device_s(direction, unpack=True) + sync_s
+        host = 0.0
+        # The analytic walk reserves on a real NicTimeline, so the port and
+        # link rules can never drift from what the simulator charges.
+        nic = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+        arrivals: list[tuple[list, float]] = []
+        last_pack = 0.0
+        for _ in range(plans):
+            if not shared_nic:
+                # PR-2 per-plan accounting: a fresh cursor per plan.
+                nic = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+            host += overhead  # handler lookup + pointer check, once per plan
+            for peer, directions in groups.items():
+                ready = host
+                for direction in directions:
+                    host += launch_s
+                    ready = max(ready, host) + kernel_device_s(direction, unpack=False)
+                nbytes = sum(spec.halo_bytes(d) for d in directions)
+                wire = network.message_time(
+                    nbytes,
+                    same_node=topology.same_node(rank, peer),
+                    device_buffers=True,
+                )
+                reservation = nic.reserve(rank, peer, ready, wire, nbytes)
+                arrivals.append((directions, reservation.arrival))
+                last_pack = max(last_pack, ready)
+            # Each plan's off-wire self-exchange runs synchronously.
+            for direction in local_dirs:
+                host += launch_s + kernel_device_s(direction, unpack=False) + sync_s
+            for direction in local_dirs:
+                host += launch_s + kernel_device_s(direction, unpack=True) + sync_s
         last_pack = max(last_pack, host)
-        # Receive side: advance to each arrival, issue that peer's unpacks on
-        # its stream, synchronise every stream at the end.
         finishes = []
         last_arrival = host
         for directions, arrival in arrivals:
@@ -321,6 +375,51 @@ def model_overlap_exchange(
         comm_s=worst[1],
         unpack_s=worst[2],
     )
+
+
+def contended_overlap_speedup(
+    nodes: int,
+    ranks_per_node: int,
+    *,
+    plans: int = 1,
+    spec: HaloSpec | None = None,
+    machine: MachineSpec = SUMMIT,
+) -> float:
+    """Speedup of ``plans`` concurrent overlapped exchanges over the serial
+    engine running them back-to-back, under honest shared-NIC accounting."""
+    fused = model_fused_exchange(nodes, ranks_per_node, spec=spec, machine=machine)
+    contended = model_contended_exchange(
+        nodes, ranks_per_node, plans=plans, spec=spec, machine=machine
+    )
+    return plans * fused.total_s / contended.total_s
+
+
+def overlap_efficiency(
+    nodes: int,
+    ranks_per_node: int,
+    *,
+    plans: int = 1,
+    spec: HaloSpec | None = None,
+    machine: MachineSpec = SUMMIT,
+) -> float:
+    """How much of the advertised overlap win survives NIC contention.
+
+    The ratio of the ``plans``-wide burst's **time to last arrival**
+    (``pack_s + comm_s``) priced per-plan (PR-2 accounting, an infinitely
+    wide NIC) to the same quantity priced on the shared injection port.
+    Arrival time is the quantity the NIC governs — the receive-side unpack
+    tail is identical under both accountings and would wash the contention
+    out of the ratio at large ``plans``.  1.0 at ``plans=1`` by
+    construction; decreases monotonically toward the injection bound as the
+    port saturates — the Fig. 15 degradation curve.
+    """
+    uncontended = model_contended_exchange(
+        nodes, ranks_per_node, plans=plans, spec=spec, machine=machine, shared_nic=False
+    )
+    contended = model_contended_exchange(
+        nodes, ranks_per_node, plans=plans, spec=spec, machine=machine, shared_nic=True
+    )
+    return (uncontended.pack_s + uncontended.comm_s) / (contended.pack_s + contended.comm_s)
 
 
 def overlap_speedup(

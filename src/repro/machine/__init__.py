@@ -10,6 +10,7 @@ and maps ranks onto nodes and GPUs (:mod:`repro.machine.topology`).
 """
 
 from repro.machine.network import NetworkModel, TransferPath
+from repro.machine.nic import LinkRecord, NicReservation, NicTimeline
 from repro.machine.spec import (
     SUMMIT,
     InterconnectSpec,
@@ -21,8 +22,11 @@ from repro.machine.topology import RankPlacement, Topology
 
 __all__ = [
     "InterconnectSpec",
+    "LinkRecord",
     "MachineSpec",
     "NetworkModel",
+    "NicReservation",
+    "NicTimeline",
     "NodeSpec",
     "RankPlacement",
     "SUMMIT",

@@ -1,0 +1,171 @@
+"""The virtual NIC timeline: shared injection-port and link occupancy.
+
+Before this module existed, the wire was priced *per plan*: the plan executor
+kept a local ``nic_free`` cursor for the duration of one collective, so two
+plans in flight at once (two ``Ialltoallv``s, a burst of ``Isend``s) never
+contended for the NIC and the simulator over-reported the overlap win exactly
+where injection-rate limits should bite.  :class:`NicTimeline` is the shared
+ledger that makes the accounting honest:
+
+* every rank owns one **injection port**; all messages a rank injects —
+  across plans, across operations — serialise on it at
+  :data:`~repro.machine.network.DEFAULT_WIRE_OVERLAP` occupancy (the same
+  factor the analytic all-to-all-v model discounts by, so single-plan pricing
+  is unchanged);
+* every directed ``(source, destination)`` pair is a **link** on which
+  messages serialise *fully*: two messages from one rank to the same peer
+  share everything end to end and cannot pipeline the way messages to
+  distinct peers can.
+
+The timeline is deliberately source-scoped: a rank's reservations depend only
+on its *own* call order, never on the wall-clock interleaving of other rank
+threads, which keeps the simulation deterministic.  Remote (receive-side)
+contention is therefore not modelled; the injection port is where the paper's
+Fig. 14-style overlap saturates first anyway.
+
+One timeline is shared by all ranks of a :class:`~repro.mpi.world.World`
+(it hangs off ``world.nic``); the :class:`~repro.tempi.progress.ProgressEngine`
+reserves slots on it when ``TempiConfig(progress="shared")`` is active.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.machine.network import DEFAULT_WIRE_OVERLAP
+
+
+class NicError(ValueError):
+    """An impossible reservation was requested."""
+
+
+@dataclass(frozen=True)
+class NicReservation:
+    """Outcome of placing one message on the timeline."""
+
+    #: Virtual time the message starts occupying the port (>= ready time).
+    start: float
+    #: Virtual time the last byte lands at the destination.
+    arrival: float
+    #: Seconds the message waited on port/link occupancy beyond its ready time.
+    stalled_s: float
+
+    @property
+    def stalled(self) -> bool:
+        """True when NIC contention delayed the injection."""
+        return self.stalled_s > 0.0
+
+
+@dataclass(frozen=True)
+class LinkRecord:
+    """One ledger entry: a message that occupied a link."""
+
+    source: int
+    dest: int
+    start: float
+    arrival: float
+    nbytes: int
+
+
+class NicTimeline:
+    """Per-rank injection ports plus a per-link occupancy ledger.
+
+    Thread-safe: ranks run on threads and reserve concurrently.  Each port is
+    only ever advanced by its owning rank, so per-rank virtual timing stays
+    deterministic; the lock merely keeps the shared dictionaries coherent.
+    """
+
+    def __init__(
+        self,
+        *,
+        wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+        ledger_limit: int = 4096,
+    ) -> None:
+        if not 0 < wire_overlap <= 1:
+            raise NicError(f"wire_overlap must be in (0, 1], got {wire_overlap}")
+        if ledger_limit < 0:
+            raise NicError(f"ledger_limit must be non-negative, got {ledger_limit}")
+        self.wire_overlap = wire_overlap
+        self.ledger_limit = ledger_limit
+        self._ports: dict[int, float] = {}
+        self._links: dict[tuple[int, int], float] = {}
+        self._ledger: deque[LinkRecord] = deque(maxlen=ledger_limit or 1)
+        self._lock = threading.Lock()
+        self.reservations = 0
+        self.stalls = 0
+        self.stalled_s = 0.0
+
+    # ---------------------------------------------------------------- reserve
+    def reserve(self, source: int, dest: int, ready: float, wire_s: float, nbytes: int = 0) -> NicReservation:
+        """Place one message of ``wire_s`` seconds on the timeline.
+
+        The message starts at the latest of its ``ready`` time, the source's
+        injection-port free time and the ``(source, dest)`` link free time.
+        The port is occupied for ``wire_overlap * wire_s`` (messages to
+        distinct peers pipeline); the link for the full ``wire_s`` (messages
+        to the same peer serialise end to end).
+        """
+        if wire_s < 0:
+            raise NicError(f"wire time must be non-negative, got {wire_s}")
+        with self._lock:
+            port = self._ports.get(source, 0.0)
+            link_key = (source, dest)
+            link = self._links.get(link_key, 0.0)
+            start = max(ready, port, link)
+            arrival = start + wire_s
+            self._ports[source] = start + self.wire_overlap * wire_s
+            self._links[link_key] = arrival
+            self.reservations += 1
+            stalled = start - ready
+            if stalled > 0:
+                self.stalls += 1
+                self.stalled_s += stalled
+            if self.ledger_limit:
+                # deque(maxlen=...) drops the oldest record in O(1).
+                self._ledger.append(LinkRecord(source, dest, start, arrival, int(nbytes)))
+            return NicReservation(start=start, arrival=arrival, stalled_s=max(0.0, stalled))
+
+    # ------------------------------------------------------------- inspection
+    def port_free_at(self, rank: int) -> float:
+        """Virtual time rank ``rank``'s injection port next frees up."""
+        with self._lock:
+            return self._ports.get(rank, 0.0)
+
+    def link_free_at(self, source: int, dest: int) -> float:
+        """Virtual time the ``(source, dest)`` link next frees up."""
+        with self._lock:
+            return self._links.get((source, dest), 0.0)
+
+    def in_flight(self, at: float, *, source: int | None = None) -> int:
+        """Ledger query: messages occupying the wire at virtual time ``at``."""
+        with self._lock:
+            return sum(
+                1
+                for record in self._ledger
+                if record.start <= at < record.arrival
+                and (source is None or record.source == source)
+            )
+
+    def ledger(self, *, source: int | None = None) -> list[LinkRecord]:
+        """A snapshot of the (bounded) reservation ledger."""
+        with self._lock:
+            return [r for r in self._ledger if source is None or r.source == source]
+
+    # -------------------------------------------------------------- lifecycle
+    def reset(self) -> None:
+        """Forget all occupancy (between benchmark repetitions)."""
+        with self._lock:
+            self._ports.clear()
+            self._links.clear()
+            self._ledger.clear()
+            self.reservations = 0
+            self.stalls = 0
+            self.stalled_s = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NicTimeline ports={len(self._ports)} links={len(self._links)} "
+            f"reservations={self.reservations} stalls={self.stalls}>"
+        )

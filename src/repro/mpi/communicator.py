@@ -273,11 +273,13 @@ class Communicator:
         def complete() -> Status:
             return self.Recv(spec, source, tag)
 
-        def ready() -> bool:
+        def arrival() -> Optional[float]:
             envelope = self.router.probe(self.rank, source, tag, self.context)
-            return envelope is not None and envelope.available_at <= self.clock.now
+            return None if envelope is None else envelope.available_at
 
-        return Request("recv", complete=complete, ready=ready)
+        # Readiness derives from the arrival probe: completable once the
+        # matching message is present and its wire time has passed.
+        return Request("recv", complete=complete, arrival=arrival, clock=self.clock)
 
     def Sendrecv(
         self,

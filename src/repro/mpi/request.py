@@ -23,7 +23,12 @@ class Request:
     ``complete`` runs the deferred work and returns its :class:`Status`;
     ``ready`` is an optional nonblocking readiness probe (e.g. a router
     probe) that lets :meth:`Test` finish a deferred receive without blocking
-    once its message has arrived.
+    once its message has arrived.  ``arrival`` is an optional hint probe
+    returning the virtual time at which the operation becomes completable
+    (``None`` while unknown); :meth:`Waitany` uses it to block on the
+    earliest-arriving request instead of list order.  Probes supplied by the
+    TEMPI progress engine also advance deferred wire state (flushing batched
+    sends), so ``Test``/``Testall`` genuinely make progress.
     """
 
     KINDS = ("send", "recv", "coll", "null")
@@ -36,6 +41,7 @@ class Request:
         completion_time: Optional[float] = None,
         clock=None,
         ready: Optional[Callable[[], bool]] = None,
+        arrival: Optional[Callable[[], Optional[float]]] = None,
     ) -> None:
         if kind not in self.KINDS:
             raise MpiError(f"unknown request kind {kind!r}")
@@ -44,6 +50,7 @@ class Request:
         self._completion_time = completion_time
         self._clock = clock
         self._ready = ready
+        self._arrival = arrival
         self._done = False
         self._status = Status()
 
@@ -73,14 +80,35 @@ class Request:
             if self._clock.now >= self._completion_time:
                 self._done = True
                 return True, self._status
-        if self._ready is not None and self._ready():
-            return True, self.Wait()
+        if self._ready is not None:
+            if self._ready():
+                return True, self.Wait()
+            return False, None
+        if self._arrival is not None and self._clock is not None:
+            # No bespoke probe: the operation is completable exactly when its
+            # known arrival time has passed on the caller's clock.
+            hint = self._arrival()
+            if hint is not None and hint <= self._clock.now:
+                return True, self.Wait()
         return False, None
 
     @property
     def completed(self) -> bool:
         """True once :meth:`Wait` (or a successful :meth:`Test`) has run."""
         return self._done
+
+    def arrival_hint(self) -> Optional[float]:
+        """Virtual time this request becomes completable, when known.
+
+        Sends report their completion time; receives probe for a posted
+        message's arrival.  ``None`` means the operation's arrival is not yet
+        determined (e.g. the matching message has not been posted).
+        """
+        if self._completion_time is not None:
+            return self._completion_time
+        if self._arrival is not None:
+            return self._arrival()
+        return None
 
     # ------------------------------------------------------------- aggregates
     @staticmethod
@@ -93,10 +121,12 @@ class Request:
         """Wait for (at least) one request; returns ``(index, status)``.
 
         Per the MPI contract, an already-completed (or nonblockingly
-        completable) active request is returned before blocking on anything;
-        only when no request can complete without waiting does ``Waitany``
-        block — on the first active request, which the deadlock-free
-        simulation guarantees will eventually finish.  A list of nothing but
+        completable) active request is returned before blocking on anything.
+        Only when no request can complete without waiting does ``Waitany``
+        block — on the active request with the **earliest known arrival
+        time** (falling back to list order when no arrival is known), so the
+        caller's clock advances to the first completion rather than to
+        whichever request happened to be listed first.  A list of nothing but
         null requests can never complete an operation — MPI returns
         ``MPI_UNDEFINED`` there, and a caller looping on ``Waitany`` until
         every request finishes would spin forever — so it raises instead.
@@ -115,8 +145,13 @@ class Request:
             done, status = requests[index].Test()
             if done:
                 return index, status
-        index = active[0]
-        return index, requests[index].Wait()
+        earliest = active[0]
+        earliest_time: Optional[float] = None
+        for index in active:
+            hint = requests[index].arrival_hint()
+            if hint is not None and (earliest_time is None or hint < earliest_time):
+                earliest, earliest_time = index, hint
+        return earliest, requests[earliest].Wait()
 
     @staticmethod
     def Testall(requests: list["Request"]) -> tuple[bool, Optional[list[Status]]]:

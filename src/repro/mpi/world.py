@@ -23,6 +23,7 @@ from repro.gpu.cost_model import GpuCostModel
 from repro.gpu.device import Device
 from repro.gpu.runtime import CudaRuntime
 from repro.machine.network import NetworkModel
+from repro.machine.nic import NicTimeline
 from repro.machine.spec import SUMMIT, MachineSpec
 from repro.machine.topology import Topology
 from repro.mpi.communicator import Communicator
@@ -70,6 +71,10 @@ class World:
         self.machine = machine
         self.topology = Topology(nranks, ranks_per_node=ranks_per_node, machine=machine)
         self.network = NetworkModel(machine)
+        #: The shared virtual NIC: one injection port per rank, one occupancy
+        #: ledger per link, reserved by the TEMPI progress engine so that
+        #: concurrent plans contend for the wire (``TempiConfig(progress=...)``).
+        self.nic = NicTimeline()
         self.router = MessageRouter(nranks)
         cost = gpu_cost if gpu_cost is not None else machine.node.gpu
         self.contexts: list[ProcessContext] = []
@@ -181,6 +186,7 @@ class World:
         executor runs pack kernels on cached per-peer streams, whose ready
         times would otherwise leak across repetitions.
         """
+        self.nic.reset()
         for ctx in self.contexts:
             ctx.clock.reset()
             for stream in ctx.gpu._streams:  # noqa: SLF001 - world owns its runtimes

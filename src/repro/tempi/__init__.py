@@ -58,10 +58,12 @@ from repro.tempi.plan import (
     PlanSection,
     PostStage,
     UnpackStage,
+    compile_bcast,
     compile_exchange,
     compile_recv,
     compile_send,
 )
+from repro.tempi.progress import PlanWindow, ProgressEngine, ProgressError
 from repro.tempi.strided_block import StridedBlock, to_strided_block
 from repro.tempi.translate import TranslationError, translate
 
@@ -74,7 +76,10 @@ __all__ = [
     "PlanError",
     "PlanExecutor",
     "PlanSection",
+    "PlanWindow",
     "PostStage",
+    "ProgressEngine",
+    "ProgressError",
     "StreamData",
     "StridedBlock",
     "SystemMeasurement",
@@ -85,6 +90,7 @@ __all__ = [
     "Type",
     "UnpackStage",
     "canonicalize",
+    "compile_bcast",
     "compile_exchange",
     "compile_recv",
     "compile_send",

@@ -45,6 +45,19 @@ class TempiConfig:
     #: peer, then post) for ablations — ``bench_fig14_overlap.py`` measures
     #: the difference.
     overlap: bool = True
+    #: Wire-state accounting of the progress engine.  ``"shared"`` (the
+    #: default) reserves every message on the world's shared
+    #: :class:`~repro.machine.nic.NicTimeline`, so concurrent plans contend
+    #: for the rank's injection port; ``"per_plan"`` keeps the PR-2 per-plan
+    #: cursor (no cross-plan contention) for ablations —
+    #: ``bench_fig15_contention.py`` measures the difference.
+    progress: str = "shared"
+    #: Coalesce consecutive sub-eager-threshold nonblocking sends to one peer
+    #: into one pack launch burst and one posted wire message (shared-progress
+    #: mode only; the batch flushes at the next progress point).
+    batch_eager_sends: bool = True
+    #: Most plans one batch may coalesce before it is flushed.
+    batch_max_messages: int = 8
     #: Reuse streams, intermediate buffers and model query results (Sec. 5).
     use_cache: bool = True
     #: Where the system-measurement file lives; None keeps it in memory only.

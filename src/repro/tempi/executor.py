@@ -24,6 +24,16 @@ end — pack time and wire time add up instead of overlapping.
 Both schedules move exactly the same bytes; only the virtual-time accounting
 differs, which is what makes serial-vs-overlap comparisons isolate the
 scheduling.
+
+Wire state itself lives one layer down, in the per-rank
+:class:`~repro.tempi.progress.ProgressEngine`: every overlapped post reserves
+its slot through the engine (cross-plan NIC contention under
+``TempiConfig(progress="shared")``, the PR-2 per-plan cursor under
+``progress="per_plan"``), sub-eager nonblocking sends may be handed to the
+engine's batcher instead of executing immediately, and receive-side readiness
+probes run the engine's progress step so ``Test`` advances deferred arrivals.
+Constructed without an engine the executor reproduces the PR-2 per-plan
+accounting exactly.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from repro.tempi.plan import (
     UnpackStage,
     staging_kind,
 )
+from repro.tempi.progress import PlanWindow, ProgressEngine
 
 
 class _StagingTracker:
@@ -91,12 +102,16 @@ class PlanExecutor:
         *,
         overlap: bool = True,
         wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+        engine: Optional[ProgressEngine] = None,
     ) -> None:
         self.comm = comm
         self.cache = cache
         self.stats = stats
         self.overlap = overlap
         self.wire_overlap = wire_overlap
+        self.engine = engine
+        if engine is not None:
+            engine.bind(self)
 
     # ------------------------------------------------------------------ entry
     def execute(self, plan: MessagePlan) -> Request:
@@ -104,19 +119,28 @@ class PlanExecutor:
 
         * ``send`` plans return a send request (completion at buffer-reuse
           time for nonblocking plans, at wire-completion time for blocking
-          ones);
+          ones); sub-eager nonblocking sends may instead be enqueued on the
+          progress engine's batcher;
         * ``recv`` plans return a receive request whose ``Wait`` matches the
           message and unpacks it;
+        * ``bcast`` plans pack once and post every peer off that one payload;
         * collective plans pack and post every outgoing peer immediately and
           return a request whose ``Wait`` receives and unpacks every incoming
           peer (the deferred-unpack side).
+
+        Every non-batched execution is a progress point: pending batches are
+        flushed first, so deferred posts can never be overtaken.
         """
         if self.stats is not None:
             self.stats.plans_built += 1
         if plan.op == "send":
             return self._execute_send(plan)
+        if self.engine is not None:
+            self.engine.progress()
         if plan.op == "recv":
             return self._execute_recv(plan)
+        if plan.op == "bcast":
+            return self._execute_bcast(plan)
         return self._execute_exchange(plan)
 
     # ---------------------------------------------------------------- helpers
@@ -126,11 +150,21 @@ class PlanExecutor:
         Mailbox presence alone is a wall-clock artefact of the thread
         scheduler; gating on ``available_at`` keeps ``Test`` deterministic in
         virtual time (a receive is completable only once its message's wire
-        time has passed on this rank's clock).
+        time has passed on this rank's clock).  With a progress engine the
+        probe also runs the engine's progress step first, so ``Test``
+        advances deferred wire state instead of only polling.
         """
         comm = self.comm
+        if self.engine is not None:
+            return self.engine.arrived(peer, tag)
         envelope = comm.router.probe(comm.rank, peer, tag, comm.context)
         return envelope is not None and envelope.available_at <= comm.clock.now
+
+    def _window(self) -> PlanWindow:
+        """A NIC view for one plan's posts (shared or per-plan, per engine)."""
+        if self.engine is not None:
+            return self.engine.plan_window()
+        return PlanWindow(None, self.comm.clock.now, self.wire_overlap)
 
     @staticmethod
     def _host_key(staging_key):
@@ -234,6 +268,12 @@ class PlanExecutor:
     # -------------------------------------------------------------------- send
     def _execute_send(self, plan: MessagePlan) -> Request:
         comm = self.comm
+        if self.engine is not None:
+            if self.overlap:
+                batched = self.engine.offer_send(plan)
+                if batched is not None:
+                    return batched
+            self.engine.progress()
         stage = plan.pack_stages[0]
         post = plan.post_stages[0]
         staging = _StagingTracker(self.cache)
@@ -241,15 +281,55 @@ class PlanExecutor:
         try:
             payload, ready = self._pack_stage(stage, plan.send_buffer, staging, stream)
             wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
-            self._post(post.peer, plan.tag, payload, post.nbytes, ready + wire)
+            if self.overlap and self.engine is not None:
+                _, arrival = self.engine.reserve(post.peer, ready, wire, post.nbytes)
+            else:
+                arrival = ready + wire
+            self._post(post.peer, plan.tag, payload, post.nbytes, arrival)
         finally:
             staging.release()
             if stream is not None:
                 self.cache.put_stream(stream)
         if self.stats is not None and self.overlap:
             self.stats.stages_overlapped += 1
-        completion = ready + self._injection_overhead() if plan.nonblocking else ready + wire
+        completion = ready + self._injection_overhead() if plan.nonblocking else arrival
         return Request("send", completion_time=completion, clock=comm.clock)
+
+    # ------------------------------------------------------------------- bcast
+    def _execute_bcast(self, plan: MessagePlan) -> Request:
+        """Root side of a plan-compiled broadcast: pack once, post every peer.
+
+        All post stages share the single pack stage's payload, so the packed
+        bytes take one kernel pipeline and then fan out over the wire, each
+        transfer reserving its own slot on the NIC window.  The returned
+        request completes at buffer-reuse time (pack done + injection), the
+        local semantics ``MPI_Bcast`` requires of the root.
+        """
+        comm = self.comm
+        stage = plan.pack_stages[0]
+        staging = _StagingTracker(self.cache)
+        stream = self.cache.get_stream() if self.overlap else None
+        window = self._window() if self.overlap else None
+        try:
+            payload, ready = self._pack_stage(stage, plan.send_buffer, staging, stream)
+            for post in plan.post_stages:
+                wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
+                if window is not None:
+                    _, arrival = window.reserve(post.peer, ready, wire, post.nbytes)
+                else:
+                    # The serial ablation prices each transfer independently,
+                    # exactly like serial sends (no NIC serialisation).
+                    arrival = ready + wire
+                self._post(post.peer, plan.tag, payload, post.nbytes, arrival)
+        finally:
+            staging.release()
+            if stream is not None:
+                self.cache.put_stream(stream)
+        if self.stats is not None and self.overlap:
+            self.stats.stages_overlapped += 1
+        return Request(
+            "send", completion_time=ready + self._injection_overhead(), clock=comm.clock
+        )
 
     # -------------------------------------------------------------------- recv
     def _execute_recv(self, plan: MessagePlan) -> Request:
@@ -257,6 +337,8 @@ class PlanExecutor:
         stage = plan.unpack_stages[0]
 
         def complete() -> Status:
+            if self.engine is not None:
+                self.engine.progress()
             if plan.nonblocking and self.stats is not None:
                 self.stats.deferred_unpacks += 1
             envelope = comm.router.receive(comm.rank, stage.peer, plan.tag, comm.context)
@@ -278,7 +360,11 @@ class PlanExecutor:
         def ready() -> bool:
             return self._arrived(stage.peer, plan.tag)
 
-        return Request("recv", complete=complete, ready=ready)
+        def arrival() -> Optional[float]:
+            envelope = comm.router.probe(comm.rank, stage.peer, plan.tag, comm.context)
+            return None if envelope is None else envelope.available_at
+
+        return Request("recv", complete=complete, ready=ready, arrival=arrival)
 
     # --------------------------------------------------------------- exchange
     def _execute_exchange(self, plan: MessagePlan) -> Request:
@@ -290,15 +376,14 @@ class PlanExecutor:
         streams: list = []
         try:
             if self.overlap:
-                nic_free = comm.clock.now
+                window = self._window()
                 for post in plan.post_stages:
                     stream = self.cache.get_stream()
                     streams.append(stream)
                     payload, ready = self._pack_stage(post.pack, plan.send_buffer, staging, stream)
                     wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
-                    start = max(ready, nic_free)
-                    nic_free = start + self.wire_overlap * wire
-                    self._post(post.peer, tag, payload, post.nbytes, start + wire)
+                    _, arrival = window.reserve(post.peer, ready, wire, post.nbytes)
+                    self._post(post.peer, tag, payload, post.nbytes, arrival)
                 if self.stats is not None:
                     self.stats.stages_overlapped += len(plan.post_stages)
             else:
@@ -313,6 +398,8 @@ class PlanExecutor:
             staging.release()
 
         def complete() -> Status:
+            if self.engine is not None:
+                self.engine.progress()
             if plan.nonblocking and self.stats is not None:
                 self.stats.deferred_unpacks += len(plan.unpack_stages)
             recv_staging = _StagingTracker(self.cache)
@@ -355,7 +442,18 @@ class PlanExecutor:
         def ready() -> bool:
             return all(self._arrived(stage.peer, tag) for stage in plan.unpack_stages)
 
-        return Request("coll", complete=complete, ready=ready)
+        def arrival() -> Optional[float]:
+            # Completable only once every peer has arrived, so the hint is the
+            # latest known arrival — unknown while any peer is missing.
+            latest = None
+            for stage in plan.unpack_stages:
+                envelope = comm.router.probe(comm.rank, stage.peer, tag, comm.context)
+                if envelope is None:
+                    return None
+                latest = envelope.available_at if latest is None else max(latest, envelope.available_at)
+            return latest
+
+        return Request("coll", complete=complete, ready=ready, arrival=arrival)
 
     def _charge_serial_wire(self, plan: MessagePlan) -> None:
         """The serial engine's analytic wire charge, split by transfer path."""

@@ -9,9 +9,9 @@ structure with plain object composition:
 * :class:`TempiCommunicator` exposes the same call surface as
   :class:`repro.mpi.communicator.Communicator`;
 * the calls TEMPI accelerates (``Type_commit``, ``Pack``, ``Unpack``,
-  ``Send``/``Isend``, ``Recv``/``Irecv``, and the datatype-carrying
-  ``Alltoallv`` / ``Neighbor_alltoallv`` with their nonblocking forms) are
-  overridden here;
+  ``Send``/``Isend``, ``Recv``/``Irecv``, ``Sendrecv``, ``Bcast``, and the
+  datatype-carrying ``Alltoallv`` / ``Neighbor_alltoallv`` with their
+  nonblocking forms) are overridden here;
 * every other attribute falls through to the underlying communicator via
   ``__getattr__`` — the analogue of unresolved symbols binding to the system
   MPI.
@@ -23,7 +23,12 @@ carrying method selection and staging keys — and run by the per-rank
 per-peer streams and posts each peer's wire transfer as soon as its pack
 completes.  The blocking calls are plan → execute → wait one-liners; the
 nonblocking calls return the executor's :class:`~repro.mpi.request.Request`
-directly, deferring the receive-side unpack to ``Wait``/``Test``.
+directly, deferring the receive-side unpack to ``Wait``/``Test``.  All wire
+state lives in the per-rank :class:`~repro.tempi.progress.ProgressEngine`
+(cross-plan NIC accounting on the world's shared
+:class:`~repro.machine.nic.NicTimeline`, small-plan send batching,
+``Test``-driven progress), configured by ``TempiConfig.progress`` and
+``TempiConfig.batch_eager_sends``.
 
 Applications written against the system MPI therefore run unmodified against
 either object, which is how the examples and benchmarks switch between the
@@ -41,6 +46,7 @@ from typing import Sequence
 
 from repro.gpu.memory import Buffer
 from repro.mpi import collectives as _collectives
+from repro.mpi.collectives import _next_collective_tag
 from repro.mpi.communicator import Communicator, as_buffer
 from repro.mpi.datatype import Datatype
 from repro.mpi.request import Request
@@ -53,6 +59,7 @@ from repro.tempi.config import PackMethod, TempiConfig
 from repro.tempi.executor import PlanExecutor
 from repro.tempi.measurement import SystemMeasurement, measure_system
 from repro.tempi.packer import Packer
+from repro.tempi.progress import ProgressEngine
 from repro.tempi.perf_model import PerformanceModel
 from repro.tempi.plan import MessagePlan, PlanSection
 from repro.tempi.strided_block import to_strided_block
@@ -113,6 +120,12 @@ class InterposerStats:
     stages_overlapped: int = 0
     #: Receive-side unpacks deferred from a nonblocking call to ``Wait``.
     deferred_unpacks: int = 0
+    #: Sub-eager send plans the progress engine coalesced into shared wire
+    #: messages (counted per constituent plan, batches of two or more).
+    batched_plans: int = 0
+    #: Messages whose injection the shared NIC timeline delayed because the
+    #: port or link was still occupied by earlier (cross-plan) traffic.
+    contention_stalls: int = 0
     method_counts: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
@@ -127,6 +140,7 @@ class InterposerStats:
             f"collectives={self.collective_hits}+{self.collective_fallbacks}fb "
             f"plans={self.plans_built} overlapped={self.stages_overlapped} "
             f"deferred_unpacks={self.deferred_unpacks} "
+            f"batched={self.batched_plans} stalls={self.contention_stalls} "
             f"methods=[{methods_repr}])"
         )
 
@@ -175,15 +189,44 @@ class TempiCommunicator:
         self.tempi = library if library is not None else Tempi(
             comm.gpu, comm.network.machine, config, model
         )
-        self._executor = PlanExecutor(
-            comm, self.tempi.cache, self.tempi.stats, overlap=config.overlap
+        self._engine = ProgressEngine(
+            comm,
+            self.tempi.cache,
+            self.tempi.stats,
+            mode=config.progress,
+            batching=config.batch_eager_sends and config.overlap,
+            batch_max_messages=config.batch_max_messages,
         )
+        self._executor = PlanExecutor(
+            comm,
+            self.tempi.cache,
+            self.tempi.stats,
+            overlap=config.overlap,
+            engine=self._engine,
+        )
+
+    #: Fall-through operations that can block on (or observe) other ranks'
+    #: traffic.  They must flush the engine's deferred sends first: a system
+    #: ``Barrier`` reached with a batched sub-eager message still pending
+    #: would park this rank while the receiver blocks on the unposted message
+    #: — the deadlock MPI's eager-delivery guarantee forbids.
+    _PROGRESS_FALLTHROUGHS = frozenset(
+        {"Barrier", "Allreduce_scalar", "Allgather_object", "Probe"}
+    )
 
     # ------------------------------------------------------------ passthrough
     def __getattr__(self, name: str):
         # Anything TEMPI does not override resolves in the "system MPI",
-        # exactly like unresolved symbols at link time.
-        return getattr(self._comm, name)
+        # exactly like unresolved symbols at link time.  Blocking fall-through
+        # calls are additionally progress points (see _PROGRESS_FALLTHROUGHS).
+        attr = getattr(self._comm, name)
+        if name in self._PROGRESS_FALLTHROUGHS:
+            def passthrough(*args, **kwargs):
+                self._engine.progress()
+                return attr(*args, **kwargs)
+
+            return passthrough
+        return attr
 
     @property
     def system(self) -> Communicator:
@@ -198,6 +241,11 @@ class TempiCommunicator:
     def executor(self) -> PlanExecutor:
         """The plan executor running this rank's accelerated operations."""
         return self._executor
+
+    @property
+    def progress_engine(self) -> ProgressEngine:
+        """The progress engine owning this rank's deferred wire state."""
+        return self._engine
 
     # ----------------------------------------------------------------- commit
     def Type_commit(self, datatype: Datatype) -> Datatype:
@@ -362,6 +410,7 @@ class TempiCommunicator:
         """``MPI_Send``: compile to a plan, execute, wait."""
         plan = self._compile_p2p_send(spec, dest, tag, nonblocking=False)
         if plan is None:
+            self._engine.progress()  # deferred posts must not be overtaken
             self._comm.Send(spec, dest, tag)
             return
         self._executor.execute(plan).Wait()
@@ -371,6 +420,7 @@ class TempiCommunicator:
         completes when the user buffer is reusable (pack done + injection)."""
         plan = self._compile_p2p_send(spec, dest, tag, nonblocking=True)
         if plan is None:
+            self._engine.progress()  # deferred posts must not be overtaken
             return self._comm.Isend(spec, dest, tag)
         return self._executor.execute(plan)
 
@@ -384,6 +434,7 @@ class TempiCommunicator:
         """``MPI_Recv``: compile to a plan, execute, wait."""
         plan = self._compile_p2p_recv(spec, source, tag, nonblocking=False)
         if plan is None:
+            self._engine.progress()  # a system receive is a progress point too
             return self._comm.Recv(spec, source, tag, status)
         return self._into_status(self._executor.execute(plan).Wait(), status)
 
@@ -391,8 +442,95 @@ class TempiCommunicator:
         """``MPI_Irecv``: matching and unpacking deferred to ``Wait``/``Test``."""
         plan = self._compile_p2p_recv(spec, source, tag, nonblocking=True)
         if plan is None:
+            self._engine.progress()
             return self._comm.Irecv(spec, source, tag)
         return self._executor.execute(plan)
+
+    def Sendrecv(
+        self,
+        send_spec,
+        dest: int,
+        sendtag: int,
+        recv_spec,
+        source: int,
+        recvtag: int,
+        status: Optional[Status] = None,
+    ) -> Status:
+        """``MPI_Sendrecv`` as a nonblocking send plan overlapping a receive.
+
+        Both halves compile to plans when their datatypes are accelerable, so
+        a strided exchange rides the progress engine (NIC accounting, batcher)
+        exactly like an ``Isend``/``Recv`` pair; either half independently
+        falls back to the system path.
+        """
+        send_plan = self._compile_p2p_send(send_spec, dest, sendtag, nonblocking=True)
+        if send_plan is not None:
+            request = self._executor.execute(send_plan)
+        else:
+            self._engine.progress()  # deferred posts must not be overtaken
+            request = self._comm.Isend(send_spec, dest, sendtag)
+        result = self.Recv(recv_spec, source, recvtag, status)
+        request.Wait()
+        return result
+
+    # ------------------------------------------------------------------- bcast
+    def _compile_bcast(self, spec, root: int) -> Optional[MessagePlan]:
+        """Compile a broadcast to a plan, or return ``None`` for the system path.
+
+        Acceleration requires the datatype-handler family the kernels cover
+        (committed, non-contiguous, device buffer) and at least two ranks; as
+        with the typed collectives, every rank of the communicator must reach
+        the same decision, which holds for SPMD programs because the buffer
+        residency and datatype are part of the collective's signature.  The
+        collective tag is consumed only on the accelerated path (the system
+        broadcast draws its own), keeping the sequence aligned either way.
+        """
+        comm = self._comm
+        if comm.size < 2 or not 0 <= root < comm.size:
+            return None
+        if not (self.config.enabled and self.config.datatype_handling):
+            return None
+        buffer, count, datatype = comm._resolve(spec)
+        handler = self._can_accelerate(datatype, buffer)
+        if handler is None or handler.packer.block.is_contiguous:
+            return None
+        self._charge_interposition_overhead()
+        nbytes = handler.packer.packed_size(count)
+        method = self._select_method(handler.packer, nbytes)
+        handler.uses += 1
+        self.tempi.stats.collective_hits += 1
+        plan = _plan.compile_bcast(
+            handler.packer,
+            buffer,
+            count,
+            root,
+            comm.rank,
+            comm.size,
+            method,
+            tag=_next_collective_tag(comm),
+        )
+        for name, hits in plan.method_counts().items():
+            self.tempi.stats.method_counts[name] = (
+                self.tempi.stats.method_counts.get(name, 0) + hits
+            )
+        return plan
+
+    def Bcast(self, spec, root: int = 0) -> None:
+        """``MPI_Bcast`` with datatype acceleration.
+
+        The root packs its strided elements once and fans the payload out
+        through the plan executor (one wire reservation per peer on the
+        progress engine); receivers unpack through the same packer, so
+        derived datatypes broadcast element-wise instead of as a raw byte
+        prefix.  Contiguous or uncommitted datatypes and host buffers fall
+        through to the system broadcast.
+        """
+        plan = self._compile_bcast(spec, root)
+        if plan is None:
+            self._engine.progress()  # a system collective is a progress point
+            self._comm.Bcast(spec, root)
+            return
+        self._executor.execute(plan).Wait()
 
     # ------------------------------------------------------------- collectives
     def _collective_sections(
@@ -533,6 +671,7 @@ class TempiCommunicator:
             nonblocking=False,
         )
         if request is None:
+            self._engine.progress()  # a system collective is a progress point
             self._comm.Alltoallv(
                 sendbuf,
                 sendcounts,
@@ -574,6 +713,7 @@ class TempiCommunicator:
             nonblocking=True,
         )
         if request is None:
+            self._engine.progress()  # a system collective is a progress point
             return self._comm.Ialltoallv(
                 sendbuf,
                 sendcounts,
@@ -614,6 +754,7 @@ class TempiCommunicator:
             nonblocking=False,
         )
         if request is None:
+            self._engine.progress()  # a system collective is a progress point
             self._comm.Neighbor_alltoallv(
                 neighbors,
                 sendbuf,
@@ -656,6 +797,7 @@ class TempiCommunicator:
             nonblocking=True,
         )
         if request is None:
+            self._engine.progress()  # a system collective is a progress point
             return self._comm.Ineighbor_alltoallv(
                 neighbors,
                 sendbuf,

@@ -213,6 +213,54 @@ def compile_recv(
     )
 
 
+def compile_bcast(
+    packer: Packer,
+    buffer: Buffer,
+    count: int,
+    root: int,
+    rank: int,
+    size: int,
+    method: PackMethod,
+    tag: int,
+    *,
+    nonblocking: bool = False,
+) -> MessagePlan:
+    """Compile ``MPI_Bcast`` of one strided object group to a plan.
+
+    The root packs **once** and fans the same payload out over one post stage
+    per peer (all sharing the single pack stage); every other rank is simply
+    a receive plan from the root.  Unlike the byte-copy system broadcast, the
+    packed payload round-trips through the datatype, so receivers get the
+    root's strided elements, not its raw buffer prefix.
+    """
+    if size < 2:
+        raise PlanError("a broadcast plan needs at least two ranks")
+    if not 0 <= root < size:
+        raise PlanError(f"root {root} outside communicator of size {size}")
+    if rank != root:
+        return compile_recv(packer, buffer, count, root, tag, method, nonblocking=nonblocking)
+    section = PlanSection(root, count, 0, packer)
+    stage = PackStage(
+        peer=root,
+        sections=(section,),
+        method=method,
+        nbytes=section.packed_bytes,
+        staging_key=("collective", "bcast", root, staging_kind(method)),
+    )
+    return MessagePlan(
+        op="bcast",
+        send_buffer=buffer,
+        pack_stages=[stage],
+        post_stages=[
+            PostStage(peer=peer, nbytes=stage.nbytes, pack=stage)
+            for peer in range(size)
+            if peer != root
+        ],
+        tag=tag,
+        nonblocking=nonblocking,
+    )
+
+
 def _group_sections(sections: Sequence[PlanSection]) -> dict[int, list[PlanSection]]:
     groups: dict[int, list[PlanSection]] = {}
     for section in sections:

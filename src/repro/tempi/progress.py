@@ -1,0 +1,313 @@
+"""The progress engine: deferred wire state between the executor and the NIC.
+
+PR 2's plan executor computed every message's arrival the moment it was
+posted, against a NIC cursor that lived *inside one plan execution*.  The
+:class:`ProgressEngine` is the per-rank layer that owns that state across
+plans instead:
+
+* **Cross-plan NIC accounting** — with ``TempiConfig(progress="shared")``
+  (the default) every wire reservation goes through the world's shared
+  :class:`~repro.machine.nic.NicTimeline`, so concurrent plans contend for
+  the rank's injection port and per-peer links.  ``progress="per_plan"``
+  reproduces the PR-2 schedule (a fresh cursor per plan, no cross-plan
+  contention) for ablations — ``bench_fig15_contention.py`` measures the
+  difference.
+* **Small-plan batching** — consecutive sub-eager-threshold nonblocking send
+  plans to the same peer are coalesced: each plan's pack is issued
+  immediately (exactly as an unbatched send would be), but the bytes ride
+  **one** posted wire message reserved when the slowest pack completes —
+  one latency floor and one NIC slot for the whole burst instead of one per
+  plan.  Delivery stays byte-for-byte identical: every constituent keeps its
+  own envelope, tag and payload; only the wire timing is shared.
+* **Test-driven progress** — ``Request.Test``/``Testall``/``Wait`` on any
+  engine-backed request call :meth:`progress` first, which flushes pending
+  batches, so testing a request genuinely advances message arrival instead
+  of polling a per-plan clock.
+
+Batches are flushed at every progress point: any non-batchable plan
+execution, any ``Wait``/``Test`` on an engine request, or an explicit
+:meth:`flush`.  Flush-on-wait is what keeps deferral deadlock-free: MPI
+requires every nonblocking send to eventually be completed, and completing it
+forces the post.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.network import DEFAULT_WIRE_OVERLAP
+from repro.machine.nic import NicTimeline
+from repro.mpi.request import Request
+from repro.mpi.status import Status
+from repro.tempi.config import PackMethod
+from repro.tempi.plan import MessagePlan
+
+#: Progress-engine modes accepted by ``TempiConfig.progress``.
+PROGRESS_MODES = ("shared", "per_plan")
+
+
+class ProgressError(RuntimeError):
+    """The engine was configured or driven impossibly."""
+
+
+class PlanWindow:
+    """One plan's view of the NIC while its post stages are being issued.
+
+    In ``per_plan`` mode the window is the PR-2 cursor: it opens at the
+    host's current virtual time and serialises only the messages of its own
+    plan.  In ``shared`` mode it delegates every reservation to the shared
+    :class:`~repro.machine.nic.NicTimeline`.
+    """
+
+    def __init__(self, engine: Optional["ProgressEngine"], now: float, wire_overlap: float) -> None:
+        self._engine = engine
+        self._nic_free = now
+        self._wire_overlap = wire_overlap
+
+    def reserve(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> tuple[float, float]:
+        """Place one message; returns ``(start, arrival)`` virtual times."""
+        if self._engine is not None and self._engine.shared:
+            return self._engine.reserve(peer, ready, wire_s, nbytes)
+        start = max(ready, self._nic_free)
+        self._nic_free = start + self._wire_overlap * wire_s
+        return start, start + wire_s
+
+
+@dataclass
+class _PendingSend:
+    """One enqueued sub-eager send plan: packed, awaiting its batch's post."""
+
+    plan: MessagePlan
+    nbytes: int
+    #: The packed payload buffer (held by the batch's staging tracker).
+    payload: object
+    #: Virtual time the pack's kernels complete (wire-readiness).
+    ready: float
+    #: Buffer-reuse completion time (pack done + injection overhead).
+    completion: float
+
+
+@dataclass
+class _Batch:
+    """The pending small-send queue of one ``(peer, wire-path)`` pair.
+
+    Entries are packed the moment they are enqueued (on their own streams,
+    exactly like unbatched sends); what the batch defers and coalesces is the
+    **wire side** — one reservation, one latency floor, one posted message's
+    worth of NIC occupancy for the whole burst.
+    """
+
+    peer: int
+    device: bool
+    staging: object
+    entries: list[_PendingSend] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(entry.nbytes for entry in self.entries)
+
+    @property
+    def ready(self) -> float:
+        return max(entry.ready for entry in self.entries)
+
+
+class ProgressEngine:
+    """Per-rank owner of deferred wire state for the plan executor."""
+
+    def __init__(
+        self,
+        comm,
+        cache,
+        stats=None,
+        *,
+        mode: str = "shared",
+        batching: bool = True,
+        batch_max_messages: int = 8,
+        wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+        nic: Optional[NicTimeline] = None,
+    ) -> None:
+        if mode not in PROGRESS_MODES:
+            raise ProgressError(
+                f"unknown progress mode {mode!r}; expected one of {PROGRESS_MODES}"
+            )
+        if batch_max_messages < 1:
+            raise ProgressError("batch_max_messages must be at least 1")
+        self.comm = comm
+        self.cache = cache
+        self.stats = stats
+        self.mode = mode
+        self.wire_overlap = wire_overlap
+        if nic is None:
+            nic = getattr(getattr(comm, "world", None), "nic", None)
+        self.nic = nic if nic is not None else NicTimeline(wire_overlap=wire_overlap)
+        #: Batching coalesces deferred posts, which only makes sense when the
+        #: shared timeline prices them; per-plan mode is the PR-2 ablation.
+        self.batching = bool(batching) and mode == "shared"
+        self.batch_max_messages = batch_max_messages
+        self.eager_threshold = comm.network.machine.eager_threshold
+        self.executor = None
+        self._batches: dict[tuple[int, bool], _Batch] = {}
+
+    # ---------------------------------------------------------------- wiring
+    @property
+    def shared(self) -> bool:
+        """True when reservations go through the shared NIC timeline."""
+        return self.mode == "shared"
+
+    def bind(self, executor) -> None:
+        """Attach the executor whose stages the engine issues at flush time."""
+        self.executor = executor
+
+    # ------------------------------------------------------------------- NIC
+    def plan_window(self) -> PlanWindow:
+        """A NIC view for one plan's post stages (mode-appropriate)."""
+        if self.shared:
+            return PlanWindow(self, self.comm.clock.now, self.wire_overlap)
+        return PlanWindow(None, self.comm.clock.now, self.wire_overlap)
+
+    def reserve(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> tuple[float, float]:
+        """Reserve one message's wire slot; returns ``(start, arrival)``.
+
+        In ``per_plan`` mode a lone message never contends (PR-2 semantics);
+        in ``shared`` mode it queues on the rank's injection port and the
+        per-peer link, and stalls are counted on the interposer stats.
+        """
+        if not self.shared:
+            return ready, ready + wire_s
+        reservation = self.nic.reserve(self.comm.rank, peer, ready, wire_s, nbytes)
+        if reservation.stalled and self.stats is not None:
+            self.stats.contention_stalls += 1
+        return reservation.start, reservation.arrival
+
+    # -------------------------------------------------------------- batching
+    def offer_send(self, plan: MessagePlan) -> Optional[Request]:
+        """Consider a nonblocking send plan for batching.
+
+        Returns the request driving the deferred send, or ``None`` when the
+        plan is not batchable (batching off, message at/above the eager
+        threshold) — the caller then executes it immediately.
+        """
+        if not self.batching or self.executor is None:
+            return None
+        if plan.op != "send" or not plan.nonblocking:
+            return None
+        post = plan.post_stages[0]
+        if post.nbytes >= self.eager_threshold:
+            return None
+        from repro.tempi.executor import _StagingTracker
+
+        device = post.pack.method is PackMethod.DEVICE
+        key = (post.peer, device)
+        # Batches are per (peer, wire path), but MPI non-overtaking is per
+        # peer: a pending batch on the *other* path must be posted before
+        # this message may be enqueued, or same-tag receives would match out
+        # of order when the method selector alternates.
+        self._flush_batch((post.peer, not device))
+        batch = self._batches.get(key)
+        if batch is not None and (
+            len(batch.entries) >= self.batch_max_messages
+            or batch.nbytes + post.nbytes > self.eager_threshold
+        ):
+            # Keep the coalesced message eager and the burst bounded.
+            self._flush_batch(key)
+            batch = None
+        if batch is None:
+            batch = self._batches[key] = _Batch(
+                peer=post.peer, device=device, staging=_StagingTracker(self.cache)
+            )
+        # Pack now, exactly like an unbatched send (own stream, host returns
+        # after the launches); only the wire message is deferred to the flush.
+        comm = self.comm
+        stream = self.cache.get_stream()
+        try:
+            payload, ready = self.executor._pack_stage(
+                plan.pack_stages[0], plan.send_buffer, batch.staging, stream
+            )
+        finally:
+            self.cache.put_stream(stream)
+        entry = _PendingSend(
+            plan=plan,
+            nbytes=post.nbytes,
+            payload=payload,
+            ready=ready,
+            completion=ready + self.executor._injection_overhead(),
+        )
+        batch.entries.append(entry)
+        if self.stats is not None:
+            self.stats.stages_overlapped += 1
+
+        def complete() -> Status:
+            self.progress()  # the send's Wait is a progress point: post first
+            comm.clock.advance_to(entry.completion)
+            return Status()
+
+        def ready_probe() -> bool:
+            self.progress()
+            return comm.clock.now >= entry.completion
+
+        def arrival() -> Optional[float]:
+            return entry.completion
+
+        return Request("send", complete=complete, ready=ready_probe, arrival=arrival)
+
+    def pending_sends(self, peer: Optional[int] = None) -> int:
+        """Enqueued-but-unposted send plans (for tests and stats)."""
+        return sum(
+            len(batch.entries)
+            for key, batch in self._batches.items()
+            if peer is None or key[0] == peer
+        )
+
+    def progress(self) -> None:
+        """Advance deferred wire state: flush every pending batch.
+
+        This is the engine's progress point — called from ``Wait``/``Test``
+        of engine requests and from every non-batchable plan execution, so
+        deferred posts can never be overtaken by later traffic and testing a
+        request genuinely moves messages toward arrival.
+        """
+        self.flush()
+
+    def flush(self, peer: Optional[int] = None) -> None:
+        """Post pending batches (all of them, or one peer's)."""
+        keys = [key for key in self._batches if peer is None or key[0] == peer]
+        for key in keys:
+            self._flush_batch(key)
+
+    def _flush_batch(self, key: tuple[int, bool]) -> None:
+        batch = self._batches.pop(key, None)
+        if batch is None or not batch.entries:
+            return
+        if self.executor is None:
+            raise ProgressError("progress engine flushed before an executor was bound")
+        executor = self.executor
+        try:
+            # One posted message: the burst's combined bytes take one wire
+            # slot (one latency floor instead of one per plan), entering the
+            # NIC when the slowest constituent pack is ready.  Each
+            # constituent keeps its own envelope — posted in enqueue order,
+            # sharing the batch arrival — so delivery is byte-for-byte
+            # identical to the unbatched schedule.
+            wire = self.comm._message_time(batch.nbytes, batch.peer, batch.device)
+            _, arrival = self.reserve(batch.peer, batch.ready, wire, batch.nbytes)
+            for entry in batch.entries:
+                post = entry.plan.post_stages[0]
+                executor._post(post.peer, entry.plan.tag, entry.payload, post.nbytes, arrival)
+        finally:
+            batch.staging.release()
+        if self.stats is not None and len(batch.entries) > 1:
+            self.stats.batched_plans += len(batch.entries)
+
+    # -------------------------------------------------------------- arrivals
+    def arrived(self, peer: int, tag: int) -> bool:
+        """True when a matching message is present *and* virtually arrived.
+
+        Runs :meth:`progress` first, so a ``Test`` poll advances deferred
+        wire state before probing — the progress-thread behaviour the
+        roadmap asked for, without a thread.
+        """
+        self.progress()
+        comm = self.comm
+        envelope = comm.router.probe(comm.rank, peer, tag, comm.context)
+        return envelope is not None and envelope.available_at <= comm.clock.now

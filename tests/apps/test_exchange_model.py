@@ -4,10 +4,13 @@ import pytest
 
 from repro.apps.exchange_model import (
     ExchangeBreakdown,
+    contended_overlap_speedup,
     halo_exchange_speedup,
+    model_contended_exchange,
     model_fused_exchange,
     model_halo_exchange,
     model_overlap_exchange,
+    overlap_efficiency,
     overlap_speedup,
 )
 from repro.apps.halo import HaloSpec
@@ -132,6 +135,53 @@ class TestOverlapPipelineModel:
         breakdown = model_overlap_exchange(1, 1)
         assert breakdown.comm_s == 0.0
         assert breakdown.total_s > 0
+
+
+class TestContendedModel:
+    #: Wire-bound configuration: big halos, every peer off-node.
+    SPEC = HaloSpec(nx=48, ny=48, nz=48, radius=3, fields=8, bytes_per_field=8)
+
+    def test_single_plan_reduces_to_overlap_model(self):
+        contended = model_contended_exchange(8, 1, plans=1, spec=self.SPEC)
+        overlap = model_overlap_exchange(8, 1, spec=self.SPEC)
+        assert contended.total_s == pytest.approx(overlap.total_s, rel=1e-12)
+        assert contended.pack_s == pytest.approx(overlap.pack_s, rel=1e-12)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            model_contended_exchange(0, 1)
+        with pytest.raises(ValueError):
+            model_contended_exchange(2, 4, plans=0)
+
+    def test_more_plans_cost_more(self):
+        totals = [
+            model_contended_exchange(8, 1, plans=k, spec=self.SPEC).total_s
+            for k in (1, 2, 4)
+        ]
+        assert totals == sorted(totals)
+        # Contended pricing never beats k independent plans stacked end to end.
+        assert totals[1] > totals[0]
+
+    def test_shared_nic_prices_above_per_plan(self):
+        shared = model_contended_exchange(8, 1, plans=4, spec=self.SPEC)
+        per_plan = model_contended_exchange(
+            8, 1, plans=4, spec=self.SPEC, shared_nic=False
+        )
+        assert shared.total_s > per_plan.total_s
+
+    def test_overlap_efficiency_degrades_monotonically(self):
+        values = [
+            overlap_efficiency(8, 1, plans=k, spec=self.SPEC) for k in (1, 2, 4, 8)
+        ]
+        assert values[0] == pytest.approx(1.0)
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-9
+        assert values[-1] < 0.75  # the port genuinely saturates
+
+    def test_contended_speedup_stays_above_one(self):
+        # Even saturated, overlapping still beats the serial engine run k times.
+        for k in (1, 2, 4):
+            assert contended_overlap_speedup(8, 1, plans=k, spec=self.SPEC) > 1.0
 
 
 class TestAnalyticMatchesSimulation:

@@ -1,0 +1,134 @@
+"""Unit tests for the shared virtual NIC timeline."""
+
+import threading
+
+import pytest
+
+from repro.machine.network import DEFAULT_WIRE_OVERLAP
+from repro.machine.nic import NicError, NicTimeline
+
+
+class TestReserve:
+    def test_free_port_starts_at_ready(self):
+        nic = NicTimeline()
+        reservation = nic.reserve(0, 1, ready=2.0, wire_s=1.0)
+        assert reservation.start == 2.0
+        assert reservation.arrival == 3.0
+        assert not reservation.stalled
+        assert reservation.stalled_s == 0.0
+
+    def test_distinct_peers_serialise_at_wire_overlap(self):
+        nic = NicTimeline()
+        first = nic.reserve(0, 1, ready=0.0, wire_s=10.0)
+        second = nic.reserve(0, 2, ready=0.0, wire_s=10.0)
+        assert first.start == 0.0
+        # The port frees after the overlap fraction, not the full wire time.
+        assert second.start == pytest.approx(DEFAULT_WIRE_OVERLAP * 10.0)
+        assert second.stalled
+        assert second.stalled_s == pytest.approx(DEFAULT_WIRE_OVERLAP * 10.0)
+
+    def test_same_peer_serialises_fully(self):
+        nic = NicTimeline()
+        first = nic.reserve(0, 1, ready=0.0, wire_s=10.0)
+        repeat = nic.reserve(0, 1, ready=0.0, wire_s=4.0)
+        # The (0, 1) link is busy until the first arrival, beyond the port.
+        assert repeat.start == pytest.approx(first.arrival)
+
+    def test_sources_do_not_contend(self):
+        nic = NicTimeline()
+        nic.reserve(0, 2, ready=0.0, wire_s=10.0)
+        other = nic.reserve(1, 2, ready=0.0, wire_s=10.0)
+        # Injection ports are per source rank; receive-side contention is
+        # deliberately unmodelled (determinism).
+        assert other.start == 0.0
+
+    def test_ready_after_port_does_not_stall(self):
+        nic = NicTimeline()
+        nic.reserve(0, 1, ready=0.0, wire_s=1.0)
+        late = nic.reserve(0, 2, ready=100.0, wire_s=1.0)
+        assert late.start == 100.0
+        assert not late.stalled
+
+    def test_counters_and_accessors(self):
+        nic = NicTimeline()
+        nic.reserve(0, 1, ready=0.0, wire_s=10.0)
+        nic.reserve(0, 2, ready=0.0, wire_s=10.0)
+        assert nic.reservations == 2
+        assert nic.stalls == 1
+        assert nic.stalled_s > 0.0
+        assert nic.port_free_at(0) == pytest.approx(
+            DEFAULT_WIRE_OVERLAP * 10.0 + DEFAULT_WIRE_OVERLAP * 10.0
+        )
+        assert nic.link_free_at(0, 1) == pytest.approx(10.0)
+        assert nic.port_free_at(5) == 0.0
+
+    def test_negative_wire_rejected(self):
+        nic = NicTimeline()
+        with pytest.raises(NicError):
+            nic.reserve(0, 1, ready=0.0, wire_s=-1.0)
+
+    def test_bad_overlap_rejected(self):
+        with pytest.raises(NicError):
+            NicTimeline(wire_overlap=0.0)
+        with pytest.raises(NicError):
+            NicTimeline(wire_overlap=1.5)
+
+
+class TestLedger:
+    def test_in_flight_counts_occupancy(self):
+        nic = NicTimeline()
+        nic.reserve(0, 1, ready=0.0, wire_s=10.0, nbytes=64)
+        nic.reserve(0, 2, ready=0.0, wire_s=10.0, nbytes=64)
+        assert nic.in_flight(1.0) == 1  # second starts at 6.5
+        assert nic.in_flight(7.0) == 2
+        assert nic.in_flight(20.0) == 0
+        assert nic.in_flight(7.0, source=0) == 2
+        assert nic.in_flight(7.0, source=3) == 0
+
+    def test_ledger_records_and_bounds(self):
+        nic = NicTimeline(ledger_limit=2)
+        for peer in (1, 2, 3):
+            nic.reserve(0, peer, ready=0.0, wire_s=1.0, nbytes=peer)
+        records = nic.ledger()
+        assert len(records) == 2
+        assert [r.dest for r in records] == [2, 3]
+        assert nic.ledger(source=7) == []
+
+    def test_reset_forgets_everything(self):
+        nic = NicTimeline()
+        nic.reserve(0, 1, ready=0.0, wire_s=10.0)
+        nic.reserve(0, 2, ready=0.0, wire_s=10.0)
+        nic.reset()
+        assert nic.reservations == 0
+        assert nic.stalls == 0
+        assert nic.port_free_at(0) == 0.0
+        assert nic.ledger() == []
+        fresh = nic.reserve(0, 3, ready=0.0, wire_s=1.0)
+        assert fresh.start == 0.0
+
+
+class TestThreadSafety:
+    def test_concurrent_sources_keep_consistent_ports(self):
+        nic = NicTimeline()
+        errors = []
+
+        def inject(rank):
+            try:
+                for _ in range(200):
+                    nic.reserve(rank, (rank + 1) % 8, ready=0.0, wire_s=0.01)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=inject, args=(rank,)) for rank in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert nic.reservations == 8 * 200
+        # Every rank sent 200 messages to one peer: the link rule serialises
+        # them end to end, so each start is 0.01 after the previous and the
+        # port frees an overlap-fraction after the last start.
+        expected = 199 * 0.01 + DEFAULT_WIRE_OVERLAP * 0.01
+        for rank in range(8):
+            assert nic.port_free_at(rank) == pytest.approx(expected)

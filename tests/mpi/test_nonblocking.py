@@ -55,6 +55,85 @@ class TestWaitanyAllNull:
         assert all(World(2, ranks_per_node=1).run(program))
 
 
+class TestWaitanyArrivalOrder:
+    def test_blocks_on_earliest_arrival_not_list_order(self):
+        """Regression: with nothing nonblockingly completable, ``Waitany``
+        used to block on the first active request; it must pick the one with
+        the earliest known arrival time instead."""
+        from repro.gpu.clock import VirtualClock
+
+        clock = VirtualClock()
+        late = Request("send", completion_time=2.0, clock=clock)
+        early = Request("send", completion_time=1.0, clock=clock)
+        index, _ = Request.Waitany([late, early])
+        assert index == 1
+        # The clock advanced only to the early completion, not past the late.
+        assert clock.now == 1.0
+        assert not late.completed
+
+    def test_arrival_callback_orders_receives(self):
+        from repro.gpu.clock import VirtualClock
+        from repro.mpi.status import Status
+
+        clock = VirtualClock()
+        completions = []
+
+        def make(when):
+            return Request(
+                "recv",
+                complete=lambda: completions.append(when) or Status(),
+                arrival=lambda: when,
+            )
+
+        slow, fast = make(5.0), make(0.5)
+        index, _ = Request.Waitany([slow, fast])
+        assert index == 1
+        assert completions == [0.5]
+
+    def test_unknown_arrivals_fall_back_to_list_order(self):
+        from repro.mpi.status import Status
+
+        request = Request("recv", complete=lambda: Status(tag=3))
+        index, status = Request.Waitany([request, Request("recv", complete=Status)])
+        assert index == 0
+        assert status.Get_tag() == 3
+
+    def test_earliest_arrival_in_world(self):
+        """Two Irecvs whose messages arrive out of list order: Waitany must
+        complete the earlier arrival first and leave the later one pending."""
+
+        def program(ctx):
+            if ctx.rank == 0:
+                # Isends post both messages at (nearly) the same virtual time;
+                # the larger one takes longer on the wire, so the second-listed
+                # receive below is the one that completes first.
+                slow = ctx.comm.Isend(np.zeros(1 << 18, dtype=np.uint8), dest=1, tag=1)
+                fast = ctx.comm.Isend(np.full(1 << 16, 9, dtype=np.uint8), dest=1, tag=2)
+                ctx.comm.Barrier()
+                Request.Waitall([slow, fast])
+                ctx.comm.Barrier()
+                return True
+            big = np.zeros(1 << 18, dtype=np.uint8)
+            small = np.zeros(1 << 16, dtype=np.uint8)
+            slow = ctx.comm.Irecv(big, source=0, tag=1)
+            fast = ctx.comm.Irecv(small, source=0, tag=2)
+            ctx.comm.Barrier()  # both messages posted; neither arrived yet
+            slow_at, fast_at = slow.arrival_hint(), fast.arrival_hint()
+            assert slow_at is not None and fast_at is not None
+            assert ctx.clock.now < fast_at < slow_at  # genuinely pending
+            index, status = Request.Waitany([slow, fast])
+            # tag-2 is smaller and lands first despite being listed last.
+            assert index == 1
+            assert status.Get_tag() == 2
+            assert ctx.clock.now == fast_at  # did not wait for the slow one
+            assert (small == 9).all()
+            slow.Wait()
+            ctx.comm.Barrier()
+            return True
+
+        assert all(World(2, ranks_per_node=1).run(program))
+
+
 class TestRequestTestReadiness:
     def test_testall_reports_pending_then_done(self):
         def program(ctx):
