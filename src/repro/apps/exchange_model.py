@@ -377,6 +377,103 @@ def model_contended_exchange(
     )
 
 
+def model_selected_exchange(
+    nodes: int,
+    ranks_per_node: int,
+    *,
+    model,
+    plans: int = 1,
+    selection: str = "contended",
+    spec: HaloSpec | None = None,
+    machine: MachineSpec = SUMMIT,
+    wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+) -> tuple[ExchangeBreakdown, dict[str, int]]:
+    """Price ``plans`` concurrent exchanges with *selected* per-message methods.
+
+    The selection-aware companion of :func:`model_contended_exchange`: every
+    wire message's packing method is chosen by the **same pricing the runtime
+    selectors use** — :meth:`~repro.tempi.perf_model.PerformanceModel.choose_method`
+    for ``selection="model"``, :func:`repro.tempi.selection.contended_estimate`
+    at the walk's live injection-port backlog for ``selection="contended"`` —
+    so the analytic decision path and the simulated interposer's cannot
+    drift apart.  The message is then priced the way the executor charges
+    it: pack/unpack from the measured tables of the chosen strategy, the
+    wire from the topology-aware network model (same-node peers on the
+    cheap path, one-shot payloads on the host path), each slot reserved on
+    a real :class:`~repro.machine.nic.NicTimeline`.
+
+    Mirroring the runtime exactly, each plan's methods are selected at
+    *compile* time: the backlog is read once per plan, before any of that
+    plan's messages reserve the port — which is why ``plans=1`` contended
+    selection coincides with ``selection="model"`` (zero backlog at compile).
+
+    Returns ``(breakdown, method_counts)``: the burst's phase partition (to
+    last pack ready / to last arrival / the unpack tail) of the worst
+    representative rank, and its wire-message counts per selected method.
+    """
+    from repro.tempi.selection import contended_estimate
+
+    if nodes <= 0 or ranks_per_node <= 0:
+        raise ValueError("nodes and ranks_per_node must be positive")
+    if plans <= 0:
+        raise ValueError(f"plans must be positive, got {plans}")
+    if selection not in ("model", "contended"):
+        raise ValueError(f"selection must be 'model' or 'contended', got {selection!r}")
+    spec = spec if spec is not None else HaloSpec.paper()
+    nranks = nodes * ranks_per_node
+    grid = RankGrid.for_ranks(nranks)
+    topology = Topology(nranks, ranks_per_node=ranks_per_node, machine=machine)
+    network = NetworkModel(machine)
+
+    worst: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    worst_counts: dict[str, int] = {}
+    representatives = range(min(grid.nranks, topology.ranks_per_node))
+    for rank in representatives:
+        groups = _send_groups(grid, rank)
+        nic = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+        counts: dict[str, int] = {}
+        arrivals: list[tuple[float, float]] = []  # (arrival, unpack tail)
+        last_pack = 0.0
+        for _ in range(plans):
+            # Compile-time selection: one backlog reading for the whole plan.
+            backlog = max(0.0, nic.port_free_at(rank) - 0.0)
+            for peer, directions in groups.items():
+                nbytes = sum(spec.halo_bytes(d) for d in directions)
+                block = spec.halo_block_length(directions[0])
+                if selection == "model":
+                    method = model.choose_method(nbytes, block)
+                else:
+                    method = contended_estimate(model, nbytes, block, backlog).best()
+                counts[method.value] = counts.get(method.value, 0) + 1
+                strategy = "oneshot" if method.value == "oneshot" else "device"
+                ready = model.pack_time(strategy, "pack", nbytes, block)
+                wire = network.message_time(
+                    nbytes,
+                    same_node=topology.same_node(rank, peer),
+                    device_buffers=strategy != "oneshot",
+                )
+                reservation = nic.reserve(rank, peer, ready, wire, nbytes)
+                arrivals.append(
+                    (reservation.arrival, model.pack_time(strategy, "unpack", nbytes, block))
+                )
+                last_pack = max(last_pack, ready)
+        last_arrival = max(arrival for arrival, _ in arrivals)
+        makespan = max(arrival + unpack for arrival, unpack in arrivals)
+        if makespan > sum(worst):
+            worst = (last_pack, last_arrival - last_pack, makespan - last_arrival)
+            worst_counts = counts
+
+    breakdown = ExchangeBreakdown(
+        nodes=nodes,
+        ranks_per_node=ranks_per_node,
+        nranks=nranks,
+        pack_s=worst[0],
+        comm_s=worst[1],
+        unpack_s=worst[2],
+    )
+    return breakdown, worst_counts
+
+
 def contended_overlap_speedup(
     nodes: int,
     ranks_per_node: int,

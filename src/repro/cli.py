@@ -15,6 +15,12 @@ used while studying the model:
 ``python -m repro.cli halo --nodes 512 --ranks-per-node 6``
     Evaluate the paper-scale halo-exchange model (Fig. 12) for one scale
     point, printing the phase breakdown and the speedup over the baseline.
+
+``python -m repro.cli select-table --plans 4``
+    Dump the selected packing method per (object size, block length) grid
+    cell — the Fig. 9b selection map — contention-free (``--plans 0``) or
+    with the injection-port backlog of N concurrent plans folded in, through
+    the same :mod:`repro.tempi.selection` pricing the interposer uses.
 """
 
 from __future__ import annotations
@@ -54,6 +60,20 @@ def _build_parser() -> argparse.ArgumentParser:
     halo.add_argument("--points", type=int, default=256,
                       help="gridpoints per rank along each axis (paper: 256)")
     halo.add_argument("--radius", type=int, default=3, help="stencil radius (paper: 3)")
+
+    table = sub.add_parser(
+        "select-table",
+        help="dump the selected method per (size, block length) grid cell (Fig. 9b map)",
+    )
+    table.add_argument("--measurement", type=Path, default=None,
+                       help="measurement file from 'measure' (measured on the fly if omitted)")
+    table.add_argument("--plans", type=int, default=0,
+                       help="concurrent plans' worth of injection-port backlog to fold in "
+                            "(0: contention-free model selection)")
+    table.add_argument("--sizes", type=int, nargs="*", default=None,
+                       help="object sizes in bytes (default: 256 B to 4 MiB, powers of two)")
+    table.add_argument("--blocks", type=int, nargs="*", default=None,
+                       help="contiguous block lengths in bytes (default: the Fig. 10 sweep)")
     return parser
 
 
@@ -103,6 +123,45 @@ def _cmd_halo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_select_table(args: argparse.Namespace) -> int:
+    from repro.machine.network import DEFAULT_WIRE_OVERLAP, NetworkModel
+    from repro.tempi.measurement import DEFAULT_BLOCKS
+    from repro.tempi.selection import contended_estimate
+
+    if args.plans < 0:
+        print("error: --plans must be non-negative", file=sys.stderr)
+        return 2
+    sizes = args.sizes if args.sizes else [1 << p for p in range(8, 23)]
+    blocks = args.blocks if args.blocks else list(DEFAULT_BLOCKS)
+    if any(s <= 0 for s in sizes) or any(b <= 0 for b in blocks):
+        print("error: sizes and blocks must be positive", file=sys.stderr)
+        return 2
+    model = _load_model(args.measurement)
+    network = NetworkModel(SUMMIT)
+    load = (
+        "contention-free"
+        if args.plans == 0
+        else f"{args.plans} concurrent plans' injection backlog"
+    )
+    print(f"selected method per (size, block length) cell — {load}")
+    print("bytes      " + "".join(f"{block:>9}" for block in blocks))
+    for size in sizes:
+        cells = []
+        for block in blocks:
+            if args.plans == 0:
+                method = model.choose_method(size, min(block, size))
+            else:
+                # Each in-flight plan parks one inter-node message of this
+                # size on the port — the same load shape the Fig. 9 benchmark
+                # sweeps — and selection prices the queue it would see.
+                wire = network.message_time(size, same_node=False, device_buffers=True)
+                backlog = args.plans * DEFAULT_WIRE_OVERLAP * wire
+                method = contended_estimate(model, size, min(block, size), backlog).best()
+            cells.append(method.value)
+        print(f"{size:>9}  " + "".join(f"{cell:>9}" for cell in cells))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro.cli`` (returns a process exit code)."""
     args = _build_parser().parse_args(argv)
@@ -112,6 +171,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_predict(args)
     if args.command == "halo":
         return _cmd_halo(args)
+    if args.command == "select-table":
+        return _cmd_select_table(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

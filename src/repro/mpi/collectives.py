@@ -2,8 +2,10 @@
 
 Only a small set is needed by the paper's evaluation: ``Barrier`` for phase
 timing, ``Bcast``/``Allgather``/``Allreduce`` for bookkeeping in the examples,
-and ``Alltoallv`` / ``Neighbor_alltoallv`` for the 3-D stencil halo exchange
-(Sec. 6.4).  All of them are composed from the point-to-point router; their
+``Alltoallv`` / ``Neighbor_alltoallv`` for the 3-D stencil halo exchange
+(Sec. 6.4), and ``Allgatherv`` (byte and datatype-carrying, the root-less
+fan-out TEMPI also routes through plans).  All of them are composed from the
+point-to-point router; their
 virtual-time cost is charged analytically from the network model so that the
 functional data movement (which is interleaved arbitrarily by the thread
 scheduler) does not distort the reported latencies.
@@ -340,6 +342,100 @@ def neighbor_alltoallv_begin(
 
 
 # --------------------------------------------------------------------------- #
+# All-gather-v
+# --------------------------------------------------------------------------- #
+
+def allgatherv_begin(
+    comm,
+    sendbuf,
+    sendcount: int,
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+):
+    """Start a byte all-gather-v: every rank's ``sendcount`` bytes to everyone.
+
+    The root-less fan-out sibling of :func:`alltoallv_begin`: this rank posts
+    one copy of its contribution to every peer and copies its own section
+    directly.  Returns ``(finish, ready)`` with the same split-phase contract
+    — ``finish`` receives every peer's contribution into ``recvdispls`` and
+    charges the analytic wire cost once, ``ready`` is the arrival probe.
+    """
+    from repro.mpi.communicator import as_buffer
+
+    _validate_vector_args(comm, recvcounts, recvdispls, "recv")
+    sendcount = int(sendcount)
+    if sendcount < 0:
+        raise MpiArgumentError(f"sendcount must be non-negative, got {sendcount}")
+    send = as_buffer(sendbuf)
+    recv = as_buffer(recvbuf)
+    if sendcount > send.nbytes:
+        raise MpiArgumentError("send section escapes the send buffer")
+    if sendcount != int(recvcounts[comm.rank]):
+        raise MpiArgumentError("this rank's contribution disagrees with its recv count")
+    tag = _next_collective_tag(comm)
+    now = comm.clock.now
+
+    if sendcount:
+        # Validate the self section before any post: an invalid call must
+        # fail on this rank without leaving peers a half-completed collective.
+        offset = int(recvdispls[comm.rank])
+        if offset + sendcount > recv.nbytes:
+            raise MpiArgumentError("receive section escapes the receive buffer")
+        payload = send.data[:sendcount].copy()
+        for peer in range(comm.size):
+            if peer != comm.rank:
+                _post_raw(comm, peer, tag, payload, now)
+        recv.data[offset : offset + sendcount] = send.data[:sendcount]
+
+    def finish() -> None:
+        latest = now
+        for peer in range(comm.size):
+            count = int(recvcounts[peer])
+            if count == 0 or peer == comm.rank:
+                continue
+            envelope = _receive_raw(comm, peer, tag)
+            offset = int(recvdispls[envelope.source])
+            expected = int(recvcounts[envelope.source])
+            if envelope.nbytes != expected:
+                raise MpiArgumentError(
+                    f"rank {comm.rank} expected {expected} bytes from {envelope.source}, "
+                    f"got {envelope.nbytes}"
+                )
+            if offset + envelope.nbytes > recv.nbytes:
+                raise MpiArgumentError("receive section escapes the receive buffer")
+            recv.data[offset : offset + envelope.nbytes] = envelope.payload
+            latest = max(latest, envelope.available_at)
+
+        comm.clock.advance_to(latest)
+        per_pair = [max(sendcount, int(count)) for count in recvcounts]
+        device = send.is_device or recv.is_device
+        comm.clock.advance(
+            comm.network.alltoallv_time(per_pair, comm.topology, comm.rank, device_buffers=device)
+        )
+
+    wire_peers = [
+        peer
+        for peer in range(comm.size)
+        if peer != comm.rank and int(recvcounts[peer])
+    ]
+    return finish, _arrival_probe(comm, tag, wire_peers)
+
+
+def allgatherv(
+    comm,
+    sendbuf,
+    sendcount: int,
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+) -> None:
+    """Exchange byte contributions with every rank (``MPI_Allgatherv``)."""
+    finish, _ = allgatherv_begin(comm, sendbuf, sendcount, recvbuf, recvcounts, recvdispls)
+    finish()
+
+
+# --------------------------------------------------------------------------- #
 # Datatype-carrying all-to-all-v
 # --------------------------------------------------------------------------- #
 
@@ -640,5 +736,109 @@ def neighbor_alltoallv_typed(
         recvcounts,
         recvdispls,
         recvtypes,
+    )
+    finish()
+
+
+# --------------------------------------------------------------------------- #
+# Datatype-carrying all-gather-v
+# --------------------------------------------------------------------------- #
+
+def allgatherv_typed_begin(
+    comm,
+    sendbuf,
+    sendcount: int,
+    sendtype: Datatype,
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+    recvtypes: TypesArg,
+):
+    """Start the system-MPI engine of the datatype-carrying all-gather-v.
+
+    This rank's ``sendcount`` elements of ``sendtype`` are packed **once**
+    with the per-block baseline engine, the packed bytes are posted to every
+    peer (the root-less fan-out), and the self-contribution is unpacked
+    directly.  Returns ``(finish, ready)`` with the usual split-phase
+    contract; ``finish`` unpacks every incoming contribution through its
+    receive section's datatype and charges the analytic wire cost once —
+    comparable message-for-message with TEMPI's plan-compiled path.
+    """
+    from repro.mpi.communicator import as_buffer
+
+    send = as_buffer(sendbuf)
+    recv = as_buffer(recvbuf)
+    if len(recvcounts) != comm.size or len(recvdispls) != comm.size:
+        raise MpiArgumentError(
+            f"typed recv counts/displacements must have one entry per rank ({comm.size})"
+        )
+    peers = list(range(comm.size))
+    recv_sections = build_sections(comm, recv, peers, recvcounts, recvdispls, recvtypes, "recv")
+    send_section = TypedSection(comm.rank, int(sendcount), 0, sendtype)
+    send_section.check(comm, send, "send")
+    nbytes = send_section.packed_bytes
+    my_recv = recv_sections[comm.rank]
+    if my_recv.packed_bytes != nbytes:
+        raise MpiArgumentError("this rank's contribution disagrees with its recv section")
+    tag = _next_collective_tag(comm)
+    now = comm.clock.now
+
+    if nbytes:
+        staging = HostBuffer(nbytes, MemoryKind.HOST_PINNED)
+        comm.baseline.pack(send, sendtype, send_section.count, staging)
+        for peer in range(comm.size):
+            if peer != comm.rank:
+                _post_raw(comm, peer, tag, staging.data, comm.clock.now)
+        comm.baseline.unpack(
+            staging, 0, recv, my_recv.datatype, my_recv.count, out_offset=my_recv.displ
+        )
+
+    def finish() -> None:
+        latest = now
+        for section in recv_sections:
+            if section.peer == comm.rank or section.count == 0:
+                continue
+            envelope = _receive_raw(comm, section.peer, tag)
+            if envelope.nbytes != section.packed_bytes:
+                raise MpiArgumentError(
+                    f"rank {comm.rank} expected {section.packed_bytes} packed bytes from "
+                    f"{section.peer}, got {envelope.nbytes}"
+                )
+            staging = HostBuffer(envelope.nbytes, MemoryKind.HOST_PINNED, _array=envelope.payload)
+            comm.baseline.unpack(
+                staging, 0, recv, section.datatype, section.count, out_offset=section.displ
+            )
+            latest = max(latest, envelope.available_at)
+
+        comm.clock.advance_to(latest)
+        per_pair = [max(nbytes, section.packed_bytes) for section in recv_sections]
+        device = send.is_device or recv.is_device
+        comm.clock.advance(
+            comm.network.alltoallv_time(per_pair, comm.topology, comm.rank, device_buffers=device)
+        )
+
+    wire_peers = [s.peer for s in recv_sections if s.peer != comm.rank and s.count]
+    return finish, _arrival_probe(comm, tag, wire_peers)
+
+
+def allgatherv_typed(
+    comm,
+    sendbuf,
+    sendcount: int,
+    sendtype: Datatype,
+    recvbuf,
+    recvcounts: Sequence[int],
+    recvdispls: Sequence[int],
+    recvtypes: TypesArg,
+) -> None:
+    """Datatype-carrying ``MPI_Allgatherv`` (one receive section per rank).
+
+    Counts are elements of the per-rank datatypes; displacements are byte
+    offsets of the first element in the receive buffer, as in the typed
+    all-to-all-v.  Every rank's ``sendcount * sendtype.size`` must equal the
+    packed size of the section its peers expect from it.
+    """
+    finish, _ = allgatherv_typed_begin(
+        comm, sendbuf, sendcount, sendtype, recvbuf, recvcounts, recvdispls, recvtypes
     )
     finish()

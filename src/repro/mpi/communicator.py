@@ -369,6 +369,80 @@ class Communicator:
         """Allgather of one picklable Python object per rank."""
         return _collectives.allgather_object(self, value)
 
+    def _allgather_uniform(
+        self, sendcount: int, recvtype: Optional[Datatype]
+    ) -> tuple[list[int], list[int]]:
+        """Expand ``MPI_Allgather``'s uniform contribution to the v-form lists.
+
+        Byte form: each rank's ``sendcount`` bytes land at ``rank * sendcount``.
+        Typed form: ``sendcount`` elements land at ``rank * sendcount * extent``
+        (MPI's extent-based placement rule for the receive type).
+        """
+        sendcount = int(sendcount)
+        if sendcount < 0:
+            raise MpiArgumentError(f"sendcount must be non-negative, got {sendcount}")
+        stride = sendcount if recvtype is None else sendcount * recvtype.extent
+        counts = [sendcount] * self.size
+        displs = [peer * stride for peer in range(self.size)]
+        return counts, displs
+
+    def Allgather(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        recvbuf: BufferLike,
+        *,
+        sendtype: Optional[Datatype] = None,
+        recvtype: Optional[Datatype] = None,
+    ) -> None:
+        """``MPI_Allgather``: every rank's uniform contribution to everyone.
+
+        Without datatypes, ``sendcount`` is bytes and rank *i*'s contribution
+        lands at byte ``i * sendcount`` of ``recvbuf``.  With datatypes the
+        counts are elements and placement follows the receive type's extent —
+        the datatype-carrying signature TEMPI's interposer accelerates.
+        """
+        if (sendtype is None) != (recvtype is None):
+            raise MpiArgumentError("sendtype and recvtype must be given together")
+        counts, displs = self._allgather_uniform(sendcount, recvtype)
+        self.Allgatherv(
+            sendbuf,
+            sendcount,
+            recvbuf,
+            counts,
+            displs,
+            sendtype=sendtype,
+            recvtypes=recvtype,
+        )
+
+    def Allgatherv(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        recvbuf: BufferLike,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtype: Optional[Datatype] = None,
+        recvtypes: Optional[_collectives.TypesArg] = None,
+    ) -> None:
+        """``MPI_Allgatherv``.
+
+        Without ``sendtype``/``recvtypes`` the counts and displacements are
+        raw byte ranges.  With datatypes each rank contributes ``sendcount``
+        elements of ``sendtype`` and section *i* of ``recvbuf`` is unpacked as
+        ``recvcounts[i]`` elements of rank *i*'s receive datatype at byte
+        displacement ``recvdispls[i]``.
+        """
+        if (sendtype is None) != (recvtypes is None):
+            raise MpiArgumentError("sendtype and recvtypes must be given together")
+        if sendtype is None:
+            _collectives.allgatherv(self, sendbuf, sendcount, recvbuf, recvcounts, recvdispls)
+        else:
+            _collectives.allgatherv_typed(
+                self, sendbuf, sendcount, sendtype, recvbuf, recvcounts, recvdispls, recvtypes
+            )
+
     def Alltoallv(
         self,
         sendbuf: BufferLike,
@@ -494,6 +568,54 @@ class Communicator:
                 recvcounts,
                 recvdispls,
                 recvtypes,
+            )
+        return self._collective_request(pending)
+
+    def Iallgather(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        recvbuf: BufferLike,
+        *,
+        sendtype: Optional[Datatype] = None,
+        recvtype: Optional[Datatype] = None,
+    ) -> Request:
+        """Nonblocking ``MPI_Iallgather`` (byte or datatype-carrying form)."""
+        if (sendtype is None) != (recvtype is None):
+            raise MpiArgumentError("sendtype and recvtype must be given together")
+        counts, displs = self._allgather_uniform(sendcount, recvtype)
+        return self.Iallgatherv(
+            sendbuf,
+            sendcount,
+            recvbuf,
+            counts,
+            displs,
+            sendtype=sendtype,
+            recvtypes=recvtype,
+        )
+
+    def Iallgatherv(
+        self,
+        sendbuf: BufferLike,
+        sendcount: int,
+        recvbuf: BufferLike,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtype: Optional[Datatype] = None,
+        recvtypes: Optional[_collectives.TypesArg] = None,
+    ) -> Request:
+        """Nonblocking ``MPI_Iallgatherv``: contribution posted now, receives
+        and unpacks deferred to the returned request's ``Wait``/``Test``."""
+        if (sendtype is None) != (recvtypes is None):
+            raise MpiArgumentError("sendtype and recvtypes must be given together")
+        if sendtype is None:
+            pending = _collectives.allgatherv_begin(
+                self, sendbuf, sendcount, recvbuf, recvcounts, recvdispls
+            )
+        else:
+            pending = _collectives.allgatherv_typed_begin(
+                self, sendbuf, sendcount, sendtype, recvbuf, recvcounts, recvdispls, recvtypes
             )
         return self._collective_request(pending)
 

@@ -11,8 +11,12 @@ simulated substrates:
    :mod:`repro.tempi.packer`).
 2. **Model-driven method selection** (Sec. 4): a measurement sweep
    (:mod:`repro.tempi.measurement`) feeds an interpolating performance model
-   (:mod:`repro.tempi.perf_model`) that picks between the *one-shot*,
-   *device* and *staged* send methods (:mod:`repro.tempi.methods`).
+   (:mod:`repro.tempi.perf_model`); the unified selection subsystem
+   (:mod:`repro.tempi.selection`) picks between the *one-shot*, *device* and
+   *staged* send methods (:mod:`repro.tempi.methods`) — contention-free by
+   default, or against the live NIC injection-port backlog
+   (``TempiConfig(selection="contended")``), with performance models keyed
+   per machine by a :class:`~repro.tempi.selection.CalibrationRegistry`.
 3. **The interposer** (Sec. 5): :class:`~repro.tempi.interposer.TempiCommunicator`
    exports the same call surface as the system MPI
    (:class:`repro.mpi.communicator.Communicator`), overriding exactly the calls
@@ -58,18 +62,35 @@ from repro.tempi.plan import (
     PlanSection,
     PostStage,
     UnpackStage,
+    compile_allgather,
     compile_bcast,
     compile_exchange,
     compile_recv,
     compile_send,
+)
+from repro.tempi.selection import (
+    CalibrationRegistry,
+    ContendedSelector,
+    FixedSelector,
+    MethodSelector,
+    ModelSelector,
+    SelectionError,
+    contended_estimate,
+    default_registry,
+    make_selector,
 )
 from repro.tempi.progress import PlanWindow, ProgressEngine, ProgressError
 from repro.tempi.strided_block import StridedBlock, to_strided_block
 from repro.tempi.translate import TranslationError, translate
 
 __all__ = [
+    "CalibrationRegistry",
+    "ContendedSelector",
     "DenseData",
+    "FixedSelector",
     "MessagePlan",
+    "MethodSelector",
+    "ModelSelector",
     "PackMethod",
     "PackStage",
     "PerformanceModel",
@@ -80,6 +101,7 @@ __all__ = [
     "PostStage",
     "ProgressEngine",
     "ProgressError",
+    "SelectionError",
     "StreamData",
     "StridedBlock",
     "SystemMeasurement",
@@ -90,10 +112,14 @@ __all__ = [
     "Type",
     "UnpackStage",
     "canonicalize",
+    "compile_allgather",
     "compile_bcast",
     "compile_exchange",
     "compile_recv",
     "compile_send",
+    "contended_estimate",
+    "default_registry",
+    "make_selector",
     "measure_system",
     "simplify",
     "to_strided_block",

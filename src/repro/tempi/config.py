@@ -27,6 +27,11 @@ class PackMethod(enum.Enum):
     AUTO = "auto"
 
 
+#: Selection policies accepted by ``TempiConfig.selection``; the selector
+#: classes themselves live in :mod:`repro.tempi.selection`.
+SELECTION_MODES = ("model", "contended", "fixed")
+
+
 @dataclass(frozen=True)
 class TempiConfig:
     """Runtime configuration of the interposer."""
@@ -39,6 +44,14 @@ class TempiConfig:
     send_handling: bool = True
     #: Packing-method policy for sends.
     method: PackMethod = PackMethod.AUTO
+    #: Which :mod:`repro.tempi.selection` selector resolves ``AUTO`` methods.
+    #: ``"model"`` (the default) prices candidates contention-free (Eqs. 1-3);
+    #: ``"contended"`` additionally folds the rank's live injection-port
+    #: backlog from the shared :class:`~repro.machine.nic.NicTimeline` into
+    #: each candidate, so the one-shot/device crossover shifts under load
+    #: (``bench_fig9_selection.py`` measures the shift); ``"fixed"`` requires
+    #: ``method`` to name a concrete method and never queries the model.
+    selection: str = "model"
     #: Overlap pack kernels with wire time: the plan executor issues each
     #: peer's pack on its own stream and posts that peer's message the moment
     #: its pack completes.  ``False`` reproduces the serial engine (pack every
@@ -72,6 +85,17 @@ class TempiConfig:
     pointer_check_s: float = 0.6e-6
     #: Extra labels carried into benchmark reports.
     tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.selection not in SELECTION_MODES:
+            raise ValueError(
+                f"unknown selection policy {self.selection!r}; expected one of {SELECTION_MODES}"
+            )
+        if self.selection == "fixed" and self.method is PackMethod.AUTO:
+            raise ValueError(
+                "selection='fixed' needs a concrete method; set method=PackMethod.DEVICE/"
+                "ONESHOT/STAGED (or use selection='model')"
+            )
 
     def with_overrides(self, **kwargs) -> "TempiConfig":
         """Copy with fields replaced (ablations, forced methods)."""

@@ -374,21 +374,34 @@ class PlanExecutor:
         tag = plan.tag
         staging = _StagingTracker(self.cache)
         streams: list = []
+        # Fan-out plans (allgather) share one pack stage across every post;
+        # pack each distinct stage once and reuse its payload for later posts.
+        packed: dict[int, tuple] = {}
+
+        def pack_once(stage: PackStage, stream) -> tuple:
+            key = id(stage)
+            if key not in packed:
+                packed[key] = self._pack_stage(stage, plan.send_buffer, staging, stream)
+            return packed[key]
+
         try:
             if self.overlap:
                 window = self._window()
                 for post in plan.post_stages:
-                    stream = self.cache.get_stream()
-                    streams.append(stream)
-                    payload, ready = self._pack_stage(post.pack, plan.send_buffer, staging, stream)
+                    if id(post.pack) not in packed:
+                        stream = self.cache.get_stream()
+                        streams.append(stream)
+                    else:
+                        stream = post.pack.stream
+                    payload, ready = pack_once(post.pack, stream)
                     wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
                     _, arrival = window.reserve(post.peer, ready, wire, post.nbytes)
                     self._post(post.peer, tag, payload, post.nbytes, arrival)
                 if self.stats is not None:
-                    self.stats.stages_overlapped += len(plan.post_stages)
+                    self.stats.stages_overlapped += len(plan.pack_stages)
             else:
                 for post in plan.post_stages:
-                    payload, ready = self._pack_stage(post.pack, plan.send_buffer, staging, None)
+                    payload, ready = pack_once(post.pack, None)
                     self._post(post.peer, tag, payload, post.nbytes, comm.clock.now)
             if plan.local is not None:
                 self._run_local(plan, staging)

@@ -10,8 +10,9 @@ structure with plain object composition:
   :class:`repro.mpi.communicator.Communicator`;
 * the calls TEMPI accelerates (``Type_commit``, ``Pack``, ``Unpack``,
   ``Send``/``Isend``, ``Recv``/``Irecv``, ``Sendrecv``, ``Bcast``, and the
-  datatype-carrying ``Alltoallv`` / ``Neighbor_alltoallv`` with their
-  nonblocking forms) are overridden here;
+  datatype-carrying ``Alltoallv`` / ``Neighbor_alltoallv`` /
+  ``Allgather`` / ``Allgatherv`` with their nonblocking forms) are
+  overridden here;
 * every other attribute falls through to the underlying communicator via
   ``__getattr__`` — the analogue of unresolved symbols binding to the system
   MPI.
@@ -37,7 +38,6 @@ baseline and TEMPI.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -55,31 +55,26 @@ from repro.tempi import methods
 from repro.tempi import plan as _plan
 from repro.tempi.cache import ResourceCache
 from repro.tempi.canonicalize import simplify
-from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.config import TempiConfig
 from repro.tempi.executor import PlanExecutor
-from repro.tempi.measurement import SystemMeasurement, measure_system
+from repro.tempi.measurement import SystemMeasurement
 from repro.tempi.packer import Packer
 from repro.tempi.progress import ProgressEngine
 from repro.tempi.perf_model import PerformanceModel
 from repro.tempi.plan import MessagePlan, PlanSection
+from repro.tempi.selection import CalibrationRegistry, default_registry, make_selector
 from repro.tempi.strided_block import to_strided_block
 from repro.tempi.translate import TranslationError, translate
 
-#: Performance models are expensive to build (a full measurement sweep), so
-#: they are shared per machine across every rank of a world.
-_MODEL_LOCK = threading.Lock()
-_MODEL_CACHE: dict[str, PerformanceModel] = {}
-
 
 def default_model(machine) -> PerformanceModel:
-    """The lazily measured, process-wide performance model for a machine."""
-    key = machine.name
-    with _MODEL_LOCK:
-        model = _MODEL_CACHE.get(key)
-        if model is None:
-            model = PerformanceModel(measure_system(machine))
-            _MODEL_CACHE[key] = model
-        return model
+    """The lazily measured, process-wide performance model for a machine.
+
+    A thin veneer over :func:`repro.tempi.selection.default_registry` — the
+    per-:class:`~repro.machine.spec.MachineSpec` calibration cache that lets
+    several machines' models coexist in one process.
+    """
+    return default_registry().model_for(machine)
 
 
 @dataclass
@@ -154,22 +149,31 @@ class Tempi:
         machine,
         config: TempiConfig = TempiConfig(),
         model: Optional[PerformanceModel] = None,
+        registry: Optional[CalibrationRegistry] = None,
     ) -> None:
         self.config = config
         self.cache = ResourceCache(runtime, enabled=config.use_cache)
         self.stats = InterposerStats()
         self._machine = machine
         self._model = model
+        #: Per-machine calibrations; the process-wide registry by default so
+        #: every rank of a world shares one measurement sweep per machine.
+        self.registry = registry if registry is not None else default_registry()
+
+    @property
+    def machine(self):
+        """The machine this library instance is calibrated for."""
+        return self._machine
 
     @property
     def model(self) -> PerformanceModel:
-        """The performance model (lazily measured or loaded)."""
+        """The performance model (lazily measured or loaded via the registry)."""
         if self._model is None:
             if self.config.measurement_path is not None:
                 measurement = SystemMeasurement.load(self.config.measurement_path)
                 self._model = PerformanceModel(measurement)
             else:
-                self._model = default_model(self._machine)
+                self._model = self.registry.model_for(self._machine)
         return self._model
 
 
@@ -183,11 +187,12 @@ class TempiCommunicator:
         *,
         library: Optional[Tempi] = None,
         model: Optional[PerformanceModel] = None,
+        registry: Optional[CalibrationRegistry] = None,
     ) -> None:
         self._comm = comm
         self.config = config
         self.tempi = library if library is not None else Tempi(
-            comm.gpu, comm.network.machine, config, model
+            comm.gpu, comm.network.machine, config, model, registry
         )
         self._engine = ProgressEngine(
             comm,
@@ -203,6 +208,18 @@ class TempiCommunicator:
             self.tempi.stats,
             overlap=config.overlap,
             engine=self._engine,
+        )
+        #: The unified method-selection policy (Sec. 4 / selection.py): every
+        #: AUTO decision — p2p, bcast, typed collectives — goes through this
+        #: one object, which owns memoisation, query-overhead charging and
+        #: (for ``selection="contended"``) the live NIC-backlog pricing.
+        self._selector = make_selector(
+            config,
+            lambda: self.tempi.model,
+            cache=self.tempi.cache,
+            clock=comm.clock,
+            nic=self._engine.nic,
+            rank=comm.rank,
         )
 
     #: Fall-through operations that can block on (or observe) other ranks'
@@ -291,21 +308,10 @@ class TempiCommunicator:
         cfg = self.config
         self._comm.clock.advance(cfg.handler_lookup_s + cfg.pointer_check_s)
 
-    def _select_method(self, packer: Packer, nbytes: int) -> PackMethod:
-        cfg = self.config
-        if cfg.method is not PackMethod.AUTO:
-            return cfg.method
-        model = self.tempi.model
-        hits_before = self.tempi.cache.stats.query_hits
-        method = self.tempi.cache.memoize(
-            ("method", nbytes, packer.block.block_length),
-            lambda: model.choose_method(nbytes, packer.block.block_length),
-        )
-        cached = self.tempi.cache.stats.query_hits > hits_before
-        self._comm.clock.advance(
-            cfg.model_cached_query_s if cached else cfg.model_query_s
-        )
-        return method  # type: ignore[return-value]
+    @property
+    def selector(self):
+        """The method-selection policy every AUTO decision goes through."""
+        return self._selector
 
     def _can_accelerate(self, datatype: Datatype, *buffers: Buffer) -> Optional[TypeHandler]:
         if not self.config.enabled:
@@ -368,7 +374,7 @@ class TempiCommunicator:
         self._comm._check_peer(dest)
         self._charge_interposition_overhead()
         nbytes = handler.packer.packed_size(count)
-        method = self._select_method(handler.packer, nbytes)
+        method = self._selector(handler.packer, nbytes)
         self.tempi.stats.sends += 1
         self.tempi.stats.method_counts[method.value] = (
             self.tempi.stats.method_counts.get(method.value, 0) + 1
@@ -391,7 +397,7 @@ class TempiCommunicator:
         self._comm._check_peer(source, allow_any=True)
         self._charge_interposition_overhead()
         nbytes = handler.packer.packed_size(count)
-        method = self._select_method(handler.packer, nbytes)
+        method = self._selector(handler.packer, nbytes)
         self.tempi.stats.recvs += 1
         self.tempi.stats.method_counts[method.value] = (
             self.tempi.stats.method_counts.get(method.value, 0) + 1
@@ -496,7 +502,7 @@ class TempiCommunicator:
             return None
         self._charge_interposition_overhead()
         nbytes = handler.packer.packed_size(count)
-        method = self._select_method(handler.packer, nbytes)
+        method = self._selector(handler.packer, nbytes)
         handler.uses += 1
         self.tempi.stats.collective_hits += 1
         plan = _plan.compile_bcast(
@@ -531,6 +537,200 @@ class TempiCommunicator:
             self._comm.Bcast(spec, root)
             return
         self._executor.execute(plan).Wait()
+
+    # --------------------------------------------------------------- allgather
+    def _allgather_request(
+        self,
+        sendbuf,
+        sendcount,
+        recvbuf,
+        recvcounts,
+        recvdispls,
+        *,
+        sendtype,
+        recvtypes,
+        nonblocking: bool,
+    ) -> Optional[Request]:
+        """Compile a typed all-gather-v to a root-less fan-out plan and start it.
+
+        Returns ``None`` for the byte signature, disabled interposition, host
+        buffers or unhandled datatypes — the caller then runs the system
+        path, exactly like the typed all-to-all-v.
+        """
+        if sendtype is None or recvtypes is None:
+            return None
+        if not (self.config.enabled and self.config.datatype_handling):
+            return None
+        comm = self._comm
+        if comm.size < 2:
+            return None
+        send = as_buffer(sendbuf)
+        recv = as_buffer(recvbuf)
+        send_plan = self._collective_sections(
+            send, [comm.rank], [sendcount], [0], sendtype, "send"
+        )
+        recv_plan = (
+            self._collective_sections(
+                recv, list(range(comm.size)), recvcounts, recvdispls, recvtypes, "recv"
+            )
+            if send_plan is not None
+            else None
+        )
+        if send_plan is None or recv_plan is None:
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        send_sections, send_handlers = send_plan
+        recv_sections, recv_handlers = recv_plan
+        if not (send_sections or recv_sections):
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        send_section = (
+            send_sections[0]
+            if send_sections
+            else PlanSection(comm.rank, 0, 0, None)
+        )
+        local_bytes = sum(s.packed_bytes for s in recv_sections if s.peer == comm.rank)
+        if local_bytes != send_section.packed_bytes:
+            # The system path's own consistency check, raised before any bytes
+            # move so both paths reject the call identically.
+            raise _collectives.MpiArgumentError(
+                "this rank's contribution disagrees with its recv section"
+            )
+        for handler in send_handlers + recv_handlers:
+            handler.uses += 1
+        self._charge_interposition_overhead()
+        self.tempi.stats.collective_hits += 1
+        plan: MessagePlan = _plan.compile_allgather(
+            comm.rank,
+            comm.size,
+            send,
+            send_section,
+            recv,
+            recv_sections,
+            self._selector,
+            nonblocking=nonblocking,
+        )
+        for name, hits in plan.method_counts().items():
+            self.tempi.stats.method_counts[name] = (
+                self.tempi.stats.method_counts.get(name, 0) + hits
+            )
+        return self._executor.execute(plan)
+
+    def Allgather(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        *,
+        sendtype=None,
+        recvtype=None,
+    ) -> None:
+        """``MPI_Allgather`` with datatype acceleration (uniform contribution)."""
+        if (sendtype is None) != (recvtype is None):
+            raise _collectives.MpiArgumentError("sendtype and recvtype must be given together")
+        counts, displs = self._comm._allgather_uniform(sendcount, recvtype)
+        self.Allgatherv(
+            sendbuf, sendcount, recvbuf, counts, displs, sendtype=sendtype, recvtypes=recvtype
+        )
+
+    def Iallgather(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        *,
+        sendtype=None,
+        recvtype=None,
+    ) -> Request:
+        """Nonblocking ``MPI_Iallgather`` over the same plan engine."""
+        if (sendtype is None) != (recvtype is None):
+            raise _collectives.MpiArgumentError("sendtype and recvtype must be given together")
+        counts, displs = self._comm._allgather_uniform(sendcount, recvtype)
+        return self.Iallgatherv(
+            sendbuf, sendcount, recvbuf, counts, displs, sendtype=sendtype, recvtypes=recvtype
+        )
+
+    def Allgatherv(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtype=None,
+        recvtypes=None,
+    ) -> None:
+        """``MPI_Allgatherv`` with datatype acceleration.
+
+        The datatype-carrying form compiles to a root-less fan-out
+        :class:`MessagePlan`: this rank's contribution is packed **once**
+        (one kernel pipeline, method selected per message) and every peer's
+        post stage shares that payload, while incoming contributions unpack
+        per peer — selection, pack/wire overlap and the progress engine's
+        NIC accounting exactly as ``Alltoallv`` gets them.  The byte form,
+        contiguous or uncommitted datatypes, and host buffers fall through
+        to the system MPI.
+        """
+        request = self._allgather_request(
+            sendbuf,
+            sendcount,
+            recvbuf,
+            recvcounts,
+            recvdispls,
+            sendtype=sendtype,
+            recvtypes=recvtypes,
+            nonblocking=False,
+        )
+        if request is None:
+            self._engine.progress()  # a system collective is a progress point
+            self._comm.Allgatherv(
+                sendbuf,
+                sendcount,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtype=sendtype,
+                recvtypes=recvtypes,
+            )
+            return
+        request.Wait()
+
+    def Iallgatherv(
+        self,
+        sendbuf,
+        sendcount: int,
+        recvbuf,
+        recvcounts: Sequence[int],
+        recvdispls: Sequence[int],
+        *,
+        sendtype=None,
+        recvtypes=None,
+    ) -> Request:
+        """Nonblocking ``MPI_Iallgatherv``: packs and posts now, receives and
+        unpacks at ``Wait``/``Test`` (the deferred-unpack side of the plan)."""
+        request = self._allgather_request(
+            sendbuf,
+            sendcount,
+            recvbuf,
+            recvcounts,
+            recvdispls,
+            sendtype=sendtype,
+            recvtypes=recvtypes,
+            nonblocking=True,
+        )
+        if request is None:
+            self._engine.progress()  # a system collective is a progress point
+            return self._comm.Iallgatherv(
+                sendbuf,
+                sendcount,
+                recvbuf,
+                recvcounts,
+                recvdispls,
+                sendtype=sendtype,
+                recvtypes=recvtypes,
+            )
+        return request
 
     # ------------------------------------------------------------- collectives
     def _collective_sections(
@@ -627,7 +827,7 @@ class TempiCommunicator:
             send_sections,
             recv,
             recv_sections,
-            self._select_method,
+            self._selector,
             op=op,
             nonblocking=nonblocking,
         )

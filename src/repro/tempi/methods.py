@@ -35,17 +35,19 @@ from repro.tempi.config import PackMethod
 from repro.tempi.executor import PlanExecutor
 from repro.tempi.packer import Packer
 from repro.tempi.plan import (
-    MethodSelector,
     PlanError,
     PlanSection,
+    compile_allgather,
     compile_exchange,
     compile_recv,
     compile_send,
     staging_kind,
 )
+from repro.tempi.selection import MethodSelector
 
 #: Backwards-compatible names: the section dataclass and error type moved to
-#: :mod:`repro.tempi.plan` with the IR redesign.
+#: :mod:`repro.tempi.plan` with the IR redesign (and the selector protocol to
+#: :mod:`repro.tempi.selection` with the selection subsystem).
 MethodError = PlanError
 PackedSection = PlanSection
 _staging_kind = staging_kind
@@ -54,6 +56,7 @@ __all__ = [
     "MethodError",
     "MethodSelector",
     "PackedSection",
+    "allgather_packed",
     "alltoallv_packed",
     "neighbor_packed",
     "pack_to_user_buffer",
@@ -136,6 +139,29 @@ def neighbor_packed(
     their engine — same semantics, same cost accounting.
     """
     return alltoallv_packed(comm, cache, select, send, send_sections, recv, recv_sections)
+
+
+def allgather_packed(
+    comm,
+    cache: ResourceCache,
+    select: MethodSelector,
+    send,
+    send_section,
+    recv,
+    recv_sections,
+) -> dict[str, int]:
+    """TEMPI's datatype-carrying all-gather-v: pack once, fan out to everyone.
+
+    The root-less sibling of :func:`alltoallv_packed`: this rank's
+    contribution is packed with a single kernel pipeline and every peer's
+    post stage shares that payload, while each incoming contribution is
+    unpacked per peer.  Returns the per-method message counts.
+    """
+    plan = compile_allgather(
+        comm.rank, comm.size, send, send_section, recv, recv_sections, select
+    )
+    PlanExecutor(comm, cache).execute(plan).Wait()
+    return plan.method_counts()
 
 
 def pack_to_user_buffer(

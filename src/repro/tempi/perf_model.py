@@ -24,6 +24,7 @@ from typing import Dict, Tuple
 import numpy as np
 from scipy.interpolate import RegularGridInterpolator
 
+from repro.machine.network import DEFAULT_WIRE_OVERLAP
 from repro.tempi.config import PackMethod
 from repro.tempi.measurement import SystemMeasurement
 
@@ -163,12 +164,16 @@ class PerformanceModel:
         self,
         messages,
         *,
-        wire_overlap: float = 0.65,
+        wire_overlap: float = DEFAULT_WIRE_OVERLAP,
     ) -> Tuple[float, float]:
         """Price a multi-peer exchange serially and as an overlapped pipeline.
 
         ``messages`` is a sequence of ``(nbytes, block_length)`` pairs, one
-        per wire peer; each is priced under its model-chosen method.  Returns
+        per wire peer; each is priced under its model-chosen method, and
+        zero-byte entries contribute nothing (an empty section never touches
+        a kernel or the wire).  The default occupancy factor is the one
+        canonical :data:`~repro.machine.network.DEFAULT_WIRE_OVERLAP` the NIC
+        timeline and the analytic all-to-all-v share.  Returns
         ``(serial_s, overlapped_s)``:
 
         * **serial** — the PR-1 engine: packs back-to-back on the host, the
@@ -181,7 +186,7 @@ class PerformanceModel:
         """
         if not 0 < wire_overlap <= 1:
             raise ValueError("wire_overlap must be in (0, 1]")
-        parts = [self._message_parts(int(n), int(b)) for n, b in messages]
+        parts = [self._message_parts(int(n), int(b)) for n, b in messages if int(n) > 0]
         if not parts:
             return 0.0, 0.0
         serial = (

@@ -29,17 +29,29 @@ move until the executor runs the plan.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Optional, Sequence
+from typing import Hashable, Optional, Sequence
 
 from repro.gpu.memory import Buffer, MemoryKind
 from repro.gpu.stream import Stream
 from repro.tempi.config import PackMethod
 from repro.tempi.packer import Packer
+from repro.tempi.selection import MethodSelector
 
-#: The per-message method policy: ``(packer, nbytes) -> method``.  Routing it
-#: through a callback keeps the model-query overhead accounting (and its
-#: memoisation) in the interposer, where the paper charges it.
-MethodSelector = Callable[[Packer, int], PackMethod]
+__all__ = [
+    "MessagePlan",
+    "MethodSelector",
+    "PackStage",
+    "PlanError",
+    "PlanSection",
+    "PostStage",
+    "UnpackStage",
+    "compile_allgather",
+    "compile_bcast",
+    "compile_exchange",
+    "compile_recv",
+    "compile_send",
+    "staging_kind",
+]
 
 
 class PlanError(RuntimeError):
@@ -127,7 +139,7 @@ class MessagePlan:
     plans, so that every rank of a collective agrees on it.
     """
 
-    op: str  # "send" | "recv" | "alltoallv" | "neighbor_alltoallv"
+    op: str  # "send" | "recv" | "bcast" | "allgather" | "alltoallv" | "neighbor_alltoallv"
     send_buffer: Optional[Buffer] = None
     recv_buffer: Optional[Buffer] = None
     pack_stages: list[PackStage] = field(default_factory=list)
@@ -257,6 +269,107 @@ def compile_bcast(
             if peer != root
         ],
         tag=tag,
+        nonblocking=nonblocking,
+    )
+
+
+def compile_allgather(
+    rank: int,
+    size: int,
+    send_buffer: Buffer,
+    send_section: PlanSection,
+    recv_buffer: Buffer,
+    recv_sections: Sequence[PlanSection],
+    select: MethodSelector,
+    *,
+    op: str = "allgather",
+    nonblocking: bool = False,
+) -> MessagePlan:
+    """Compile a datatype-carrying ``Allgather``/``Allgatherv`` to a plan.
+
+    The root-less fan-out: this rank packs its contribution **once** and
+    every other peer's post stage shares that single pack stage (the
+    broadcast shape, but from every rank at once), while one unpack stage per
+    incoming peer scatters that peer's contribution into the receive buffer.
+    The self-contribution bounces through device staging off the wire,
+    exactly like an exchange's self-sections.  Methods are selected per
+    message through ``select`` — the outgoing payload once, each incoming
+    peer's independently — so the collective rides selection, overlap and the
+    progress engine like ``Alltoallv`` does.
+    """
+    if size < 2:
+        raise PlanError("an allgather plan needs at least two ranks")
+    if send_section.peer != rank:
+        raise PlanError("the send section of an allgather is this rank's own contribution")
+    recv_groups = _group_sections(recv_sections)
+    nbytes = send_section.packed_bytes
+
+    local_recv = recv_groups.get(rank, [])
+    if sum(s.packed_bytes for s in local_recv) != nbytes:
+        raise PlanError("self send/recv sections disagree on packed size")
+
+    pack_stages: list[PackStage] = []
+    post_stages: list[PostStage] = []
+    if nbytes:
+        method = select(send_section.packer, nbytes)
+        stage = PackStage(
+            peer=rank,
+            sections=(send_section,),
+            method=method,
+            nbytes=nbytes,
+            staging_key=("collective", "gather-send", rank, staging_kind(method)),
+        )
+        pack_stages.append(stage)
+        post_stages.extend(
+            PostStage(peer=peer, nbytes=nbytes, pack=stage)
+            for peer in range(size)
+            if peer != rank
+        )
+
+    local: Optional[tuple[PackStage, UnpackStage]] = None
+    if local_recv:
+        local = (
+            PackStage(
+                peer=rank,
+                sections=(send_section,),
+                method=PackMethod.DEVICE,
+                nbytes=nbytes,
+                staging_key=("collective", "gather-send", rank, staging_kind(PackMethod.DEVICE)),
+            ),
+            UnpackStage(
+                peer=rank,
+                sections=tuple(local_recv),
+                method=PackMethod.DEVICE,
+                nbytes=nbytes,
+                staging_key=("collective", "gather-recv", rank, staging_kind(PackMethod.DEVICE)),
+            ),
+        )
+
+    unpack_stages: list[UnpackStage] = []
+    for peer in sorted(recv_groups):
+        if peer == rank:
+            continue
+        group = recv_groups[peer]
+        peer_bytes = sum(section.packed_bytes for section in group)
+        method = select(group[0].packer, peer_bytes)
+        unpack_stages.append(
+            UnpackStage(
+                peer=peer,
+                sections=tuple(group),
+                method=method,
+                nbytes=peer_bytes,
+                staging_key=("collective", "gather-recv", peer, staging_kind(method)),
+            )
+        )
+
+    return MessagePlan(
+        op=op,
+        send_buffer=send_buffer,
+        recv_buffer=recv_buffer,
+        pack_stages=pack_stages,
+        post_stages=post_stages,
+        unpack_stages=unpack_stages,
+        local=local,
         nonblocking=nonblocking,
     )
 

@@ -1,0 +1,398 @@
+"""The unified method-selection subsystem (Sec. 4, Sec. 6.3, and beyond).
+
+Until this module existed the per-message packing-method decision was smeared
+across three layers: :meth:`~repro.tempi.perf_model.PerformanceModel.choose_method`
+held the contention-free Eqs. 1-3 comparison, ``tempi/plan.py`` declared the
+selector callback type, and the interposer wired cache memoisation and
+query-overhead charging ad hoc.  Worse, every candidate was priced as if the
+NIC were idle even though the shared :class:`~repro.machine.nic.NicTimeline`
+knows the rank's live injection-port occupancy.  This module owns all of it:
+
+* :class:`MethodSelector` — the protocol every selector satisfies (and the
+  callback type the :mod:`repro.tempi.plan` compilers take);
+* :class:`FixedSelector` — a forced method, never queries the model
+  (``TempiConfig(selection="fixed", method=...)``);
+* :class:`ModelSelector` — the contention-free model path: memoises the
+  ``(nbytes, block_length)`` query through the resource cache and charges the
+  measured query overhead on the rank's clock, exactly as the paper charges
+  it (kept as the default and for ablations);
+* :class:`ContendedSelector` — prices each candidate against the rank's
+  injection-port **backlog**: a queued port hides pack time (the pack runs
+  while earlier messages drain), so under load the decision tilts toward the
+  method with the cheaper wire-plus-unpack tail and the one-shot/device
+  crossover of Fig. 9 shifts — ``bench_fig9_selection.py`` measures the
+  shift, :func:`repro.apps.exchange_model.model_selected_exchange` prices it
+  analytically through the *same* :func:`contended_estimate`;
+* :class:`CalibrationRegistry` — measurement files keyed per
+  :class:`~repro.machine.spec.MachineSpec`, so several machines' models
+  coexist in one process (machine sweeps measure each system once, in the
+  spirit of the paper's run-once measurement binary).
+
+Every selector accepts ``(packer, nbytes)`` and returns a concrete
+:class:`~repro.tempi.config.PackMethod`.  Zero-byte sections short-circuit to
+:data:`NOOP_METHOD` without touching model or clock — an empty section moves
+nothing, so any staging kind is trivially correct and pricing primitives
+(which reject ``nbytes <= 0``) are never consulted.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Protocol, Union
+
+from repro.machine.nic import NicTimeline
+from repro.machine.spec import MachineSpec
+from repro.tempi.config import SELECTION_MODES, PackMethod, TempiConfig
+from repro.tempi.measurement import SystemMeasurement, measure_system
+from repro.tempi.perf_model import PerformanceModel
+
+#: The trivial selection for a zero-byte section: nothing is packed and
+#: nothing is posted, so the method only names a staging kind that is never
+#: allocated.  DEVICE keeps such sections on the same path self-sections use.
+NOOP_METHOD = PackMethod.DEVICE
+
+
+#: Granularity at which :class:`ContendedSelector` reads the port backlog:
+#: coarse enough that stable queue depths share one memoised decision (and
+#: one cached-query charge), fine enough (0.1 µs, far below the microseconds
+#: at which selections flip) never to matter for the decision itself.
+BACKLOG_RESOLUTION_S = 1e-7
+
+
+class SelectionError(ValueError):
+    """A selector or registry was configured impossibly."""
+
+
+class MethodSelector(Protocol):
+    """The per-message method policy: ``(packer, nbytes) -> method``.
+
+    The plan compilers call the selector once per wire message at compile
+    time, so model-query overhead stays charged where the paper charges it
+    (inside the interposed call, before any bytes move).
+    """
+
+    def __call__(self, packer, nbytes: int) -> PackMethod:  # pragma: no cover - protocol
+        ...
+
+
+# --------------------------------------------------------------------------- #
+# Contended pricing (shared by the selector, the benchmark and the analytic
+# exchange model — one function, so the three can never drift)
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class ContendedEstimate:
+    """End-to-end candidate latencies under an injection-port backlog.
+
+    A message cannot enter the wire before the port drains (``backlog_s``
+    seconds from now) *or* before its pack completes — whichever is later.
+    Queued time therefore hides pack time, and each candidate's effective
+    latency is ``max(pack, backlog) + wire + unpack``.  At zero backlog this
+    is exactly the contention-free Eqs. 1-3 total.
+    """
+
+    oneshot: float
+    device: float
+    backlog_s: float
+
+    def best(self) -> PackMethod:
+        """Ties break toward one-shot, matching :class:`MethodEstimate`."""
+        return PackMethod.ONESHOT if self.oneshot <= self.device else PackMethod.DEVICE
+
+
+def contended_estimate(
+    model: PerformanceModel, nbytes: int, block_length: int, backlog_s: float
+) -> ContendedEstimate:
+    """Price the one-shot and device candidates under ``backlog_s`` of port queue."""
+    if backlog_s < 0:
+        raise SelectionError(f"backlog must be non-negative, got {backlog_s}")
+    oneshot = (
+        max(model.pack_time("oneshot", "pack", nbytes, block_length), backlog_s)
+        + model.transfer_time("cpu_cpu", nbytes)
+        + model.pack_time("oneshot", "unpack", nbytes, block_length)
+    )
+    device = (
+        max(model.pack_time("device", "pack", nbytes, block_length), backlog_s)
+        + model.transfer_time("gpu_gpu", nbytes)
+        + model.pack_time("device", "unpack", nbytes, block_length)
+    )
+    return ContendedEstimate(oneshot=oneshot, device=device, backlog_s=backlog_s)
+
+
+# --------------------------------------------------------------------------- #
+# Selectors
+# --------------------------------------------------------------------------- #
+
+class FixedSelector:
+    """Always the configured method — ``TEMPI_PLACE_*``-style forcing."""
+
+    def __init__(self, method: PackMethod) -> None:
+        if method is PackMethod.AUTO:
+            raise SelectionError("a fixed selector needs a concrete method, not AUTO")
+        self.method = method
+
+    def __call__(self, packer, nbytes: int) -> PackMethod:
+        if nbytes <= 0:
+            return NOOP_METHOD
+        return self.method
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FixedSelector {self.method.value}>"
+
+
+class ModelSelector:
+    """The contention-free model path (Eqs. 1-3), with paper-faithful costs.
+
+    Results are memoised through the resource cache keyed by
+    ``(nbytes, block_length)``; the rank's clock is charged the measured
+    ~277 ns for cached queries and a few microseconds for cold ones — the
+    overhead accounting that used to live inside the interposer.
+    ``model`` may be a :class:`~repro.tempi.perf_model.PerformanceModel` or a
+    zero-argument callable producing one (so construction never forces the
+    measurement sweep).
+    """
+
+    def __init__(
+        self,
+        model: Union[PerformanceModel, Callable[[], PerformanceModel]],
+        *,
+        cache=None,
+        clock=None,
+        config: Optional[TempiConfig] = None,
+    ) -> None:
+        self._model = model
+        self.cache = cache
+        self.clock = clock
+        self.config = config if config is not None else TempiConfig()
+
+    @property
+    def model(self) -> PerformanceModel:
+        if not isinstance(self._model, PerformanceModel):
+            self._model = self._model()
+        return self._model
+
+    # ------------------------------------------------------------- accounting
+    def _memoize(self, key, compute):
+        """Memoise a decision and charge the query overhead on the clock."""
+        if self.cache is None:
+            return compute(), False
+        hits_before = self.cache.stats.query_hits
+        value = self.cache.memoize(key, compute)
+        return value, self.cache.stats.query_hits > hits_before
+
+    def _charge(self, cached: bool) -> None:
+        if self.clock is not None:
+            cfg = self.config
+            self.clock.advance(cfg.model_cached_query_s if cached else cfg.model_query_s)
+
+    # -------------------------------------------------------------- selection
+    def _decide(self, nbytes: int, block_length: int) -> PackMethod:
+        return self.model.choose_method(nbytes, block_length)
+
+    def __call__(self, packer, nbytes: int) -> PackMethod:
+        if nbytes <= 0:
+            return NOOP_METHOD
+        block_length = packer.block.block_length
+        method, cached = self._memoize(
+            ("method", int(nbytes), int(block_length)),
+            lambda: self._decide(int(nbytes), int(block_length)),
+        )
+        self._charge(cached)
+        return method
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class ContendedSelector(ModelSelector):
+    """NIC-aware selection: folds live injection-port backlog into Eqs. 1-3.
+
+    The backlog is read off the shared :class:`~repro.machine.nic.NicTimeline`
+    at selection time (``port_free_at(rank) - now``, clamped at zero), so the
+    decision depends on how much earlier cross-plan traffic is still queued on
+    this rank's port.  At zero backlog the decision is *identical* to
+    :class:`ModelSelector`'s (the memoised contention-free path — the
+    equivalence the property suite pins down); under load the shared
+    :func:`contended_estimate` pricing takes over.  The backlog is quantised
+    to :data:`BACKLOG_RESOLUTION_S` *before* pricing, so the memo key and
+    the decision always agree, repeated selections at a stable queue depth
+    genuinely hit the cache (and pay the cached-query charge), and the
+    memo cannot grow one entry per float jitter over a long run — far below
+    any flip threshold, the resolution never changes a decision.
+    """
+
+    def __init__(
+        self,
+        model: Union[PerformanceModel, Callable[[], PerformanceModel]],
+        nic: NicTimeline,
+        rank: int,
+        *,
+        cache=None,
+        clock=None,
+        config: Optional[TempiConfig] = None,
+    ) -> None:
+        super().__init__(model, cache=cache, clock=clock, config=config)
+        if nic is None:
+            raise SelectionError("a contended selector needs the shared NIC timeline")
+        self.nic = nic
+        self.rank = rank
+
+    def backlog(self) -> float:
+        """Seconds of queued injection on this rank's port, as of its clock.
+
+        Quantised to :data:`BACKLOG_RESOLUTION_S` so stable queue depths
+        memoise (method flip thresholds sit orders of magnitude higher).
+        """
+        now = self.clock.now if self.clock is not None else 0.0
+        raw = max(0.0, self.nic.port_free_at(self.rank) - now)
+        return round(raw / BACKLOG_RESOLUTION_S) * BACKLOG_RESOLUTION_S
+
+    def __call__(self, packer, nbytes: int) -> PackMethod:
+        if nbytes <= 0:
+            return NOOP_METHOD
+        backlog = self.backlog()
+        if backlog <= 0.0:
+            return super().__call__(packer, nbytes)
+        block_length = packer.block.block_length
+        method, cached = self._memoize(
+            ("method-contended", int(nbytes), int(block_length), float(backlog)),
+            lambda: contended_estimate(
+                self.model, int(nbytes), int(block_length), backlog
+            ).best(),
+        )
+        self._charge(cached)
+        return method
+
+
+def make_selector(
+    config: TempiConfig,
+    model: Union[PerformanceModel, Callable[[], PerformanceModel]],
+    *,
+    cache=None,
+    clock=None,
+    nic: Optional[NicTimeline] = None,
+    rank: int = 0,
+) -> MethodSelector:
+    """Build the selector ``config`` asks for (the interposer's factory).
+
+    A non-``AUTO`` ``config.method`` always forces that method, whatever the
+    selection policy — the ablation knob the benchmarks rely on.  Policy
+    ``"contended"`` degrades to the model path when no NIC timeline exists to
+    consult (an executor driven outside a :class:`~repro.mpi.world.World`).
+    """
+    if config.selection not in SELECTION_MODES:
+        raise SelectionError(
+            f"unknown selection policy {config.selection!r}; expected one of {SELECTION_MODES}"
+        )
+    if config.method is not PackMethod.AUTO:
+        return FixedSelector(config.method)
+    if config.selection == "fixed":
+        raise SelectionError("selection='fixed' needs a concrete config.method")
+    if config.selection == "contended" and nic is not None:
+        return ContendedSelector(model, nic, rank, cache=cache, clock=clock, config=config)
+    return ModelSelector(model, cache=cache, clock=clock, config=config)
+
+
+# --------------------------------------------------------------------------- #
+# Calibration registry
+# --------------------------------------------------------------------------- #
+
+class CalibrationRegistry:
+    """Per-machine performance models, measured once and shared process-wide.
+
+    The paper's measurement binary runs once per *system*; this registry is
+    that discipline as an object: the first query for a machine runs the
+    sweep (or loads its measurement file) and every later query — from any
+    rank, any communicator, any thread — reuses the interpolated model.
+    Distinct machines coexist, so a halo/exchange study can sweep
+    :func:`~repro.machine.spec.summit_like` variants in one process.
+
+    ``directory`` (optional) gives measurement files a home, one JSON per
+    machine named ``<machine>.json``: models are loaded from there when
+    present and the sweep's result is persisted there when not.
+    """
+
+    def __init__(self, directory: Optional[Path | str] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._models: Dict[str, PerformanceModel] = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def measurement_path(directory: Path | str, machine_name: str) -> Path:
+        """Where one machine's measurement file lives under ``directory``."""
+        return Path(directory) / f"{machine_name}.json"
+
+    # ------------------------------------------------------------------ query
+    def model_for(self, machine: MachineSpec) -> PerformanceModel:
+        """The machine's model: cached, else loaded from disk, else measured."""
+        with self._lock:
+            model = self._models.get(machine.name)
+            if model is not None:
+                return model
+            measurement = self._load_or_measure(machine)
+            model = PerformanceModel(measurement)
+            self._models[machine.name] = model
+            return model
+
+    def _load_or_measure(self, machine: MachineSpec) -> SystemMeasurement:
+        if self.directory is not None:
+            path = self.measurement_path(self.directory, machine.name)
+            if path.exists():
+                return self._check(SystemMeasurement.load(path), machine.name)
+            measurement = measure_system(machine)
+            measurement.save(path)
+            return measurement
+        return measure_system(machine)
+
+    # --------------------------------------------------------------- mutation
+    def register(self, measurement: SystemMeasurement) -> PerformanceModel:
+        """Adopt an existing measurement (tests, pre-measured files)."""
+        if measurement.machine_name == "unknown":
+            raise SelectionError(
+                "a registry measurement must carry its machine_name "
+                "(re-run measure_system, or set it before registering)"
+            )
+        model = PerformanceModel(measurement)
+        with self._lock:
+            self._models[measurement.machine_name] = model
+        return model
+
+    def load(self, path: Path | str, machine: Optional[MachineSpec] = None) -> PerformanceModel:
+        """Register a measurement file, optionally checking its machine."""
+        measurement = SystemMeasurement.load(path)
+        if machine is not None:
+            self._check(measurement, machine.name)
+        return self.register(measurement)
+
+    @staticmethod
+    def _check(measurement: SystemMeasurement, machine_name: str) -> SystemMeasurement:
+        if measurement.machine_name not in ("unknown", machine_name):
+            raise SelectionError(
+                f"measurement file is for machine {measurement.machine_name!r}, "
+                f"not {machine_name!r}"
+            )
+        return measurement
+
+    # ------------------------------------------------------------- inspection
+    def machines(self) -> list[str]:
+        """Names of the machines calibrated so far."""
+        with self._lock:
+            return sorted(self._models)
+
+    def __contains__(self, machine: Union[MachineSpec, str]) -> bool:
+        name = machine.name if isinstance(machine, MachineSpec) else machine
+        with self._lock:
+            return name in self._models
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CalibrationRegistry machines={self.machines()}>"
+
+
+_DEFAULT_REGISTRY = CalibrationRegistry()
+
+
+def default_registry() -> CalibrationRegistry:
+    """The process-wide registry (performance models are expensive to build)."""
+    return _DEFAULT_REGISTRY

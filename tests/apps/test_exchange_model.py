@@ -227,3 +227,67 @@ class TestAnalyticMatchesSimulation:
         overlapped = model_overlap_exchange(2, 4, spec=self.SPEC).total_s
         assert overlapped < fused
         assert simulated["overlap"] < simulated["serial"]
+
+
+class TestSelectedExchangeModel:
+    """model_selected_exchange: analytic selection shares the runtime's code."""
+
+    def test_single_plan_contended_equals_model(self, summit_model):
+        from repro.apps.exchange_model import model_selected_exchange
+
+        modelled, model_counts = model_selected_exchange(
+            2, 6, model=summit_model, plans=1, selection="model"
+        )
+        contended, contended_counts = model_selected_exchange(
+            2, 6, model=summit_model, plans=1, selection="contended"
+        )
+        assert contended_counts == model_counts
+        assert contended.total_s == pytest.approx(modelled.total_s)
+
+    def test_selection_shifts_under_load(self, summit_model):
+        from repro.apps.exchange_model import model_selected_exchange
+
+        _, model_counts = model_selected_exchange(
+            4, 6, model=summit_model, plans=8, selection="model"
+        )
+        _, contended_counts = model_selected_exchange(
+            4, 6, model=summit_model, plans=8, selection="contended"
+        )
+        assert contended_counts != model_counts
+        # The shift trades device messages for one-shot ones, never new kinds.
+        assert set(contended_counts) <= {"device", "oneshot"}
+
+    def test_model_selection_matches_choose_method(self, summit_model):
+        """Analytic decisions are literally PerformanceModel.choose_method."""
+        from repro.apps.exchange_model import _send_groups, model_selected_exchange
+        from repro.apps.halo import HaloSpec, RankGrid
+
+        spec = HaloSpec.paper()
+        _, counts = model_selected_exchange(
+            2, 6, model=summit_model, plans=1, selection="model", spec=spec
+        )
+        grid = RankGrid.for_ranks(12)
+        expected: dict[str, int] = {}
+        worst = None
+        # Reproduce the walk's group shapes for one representative rank set;
+        # the counts of the worst rank must come from choose_method verbatim.
+        for rank in range(min(12, 6)):
+            rank_counts: dict[str, int] = {}
+            for _, directions in _send_groups(grid, rank).items():
+                nbytes = sum(spec.halo_bytes(d) for d in directions)
+                block = spec.halo_block_length(directions[0])
+                method = summit_model.choose_method(nbytes, block)
+                rank_counts[method.value] = rank_counts.get(method.value, 0) + 1
+            if rank_counts == counts:
+                worst = rank_counts
+        assert worst == counts
+
+    def test_invalid_arguments_rejected(self, summit_model):
+        from repro.apps.exchange_model import model_selected_exchange
+
+        with pytest.raises(ValueError):
+            model_selected_exchange(0, 6, model=summit_model)
+        with pytest.raises(ValueError):
+            model_selected_exchange(2, 6, model=summit_model, plans=0)
+        with pytest.raises(ValueError):
+            model_selected_exchange(2, 6, model=summit_model, selection="fixed")

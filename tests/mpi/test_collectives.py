@@ -382,3 +382,132 @@ class TestTypedNeighborAlltoallv:
             return True
 
         assert all(World(1).run(program))
+
+
+class TestAllgatherv:
+    """The byte all-gather-v (system-MPI baseline path)."""
+
+    def test_every_rank_sees_every_contribution(self, world4):
+        def program(ctx):
+            comm = ctx.comm
+            n = 4
+            send = np.full(n, ctx.rank + 1, dtype=np.uint8)
+            recv = np.zeros(n * comm.size, dtype=np.uint8)
+            comm.Allgather(send, n, recv)
+            expected = np.repeat(np.arange(1, comm.size + 1, dtype=np.uint8), n)
+            assert np.array_equal(recv, expected)
+            return True
+
+        assert all(world4.run(program))
+
+    def test_ragged_contributions_with_displacements(self, world4):
+        def program(ctx):
+            comm = ctx.comm
+            counts = [1, 3, 0, 2]
+            displs = [0, 2, 6, 7]
+            send = np.full(max(1, counts[ctx.rank]), ctx.rank + 1, dtype=np.uint8)
+            recv = np.zeros(16, dtype=np.uint8)
+            comm.Allgatherv(send, counts[ctx.rank], recv, counts, displs)
+            for peer, (count, displ) in enumerate(zip(counts, displs)):
+                assert (recv[displ : displ + count] == peer + 1).all()
+            return True
+
+        assert all(world4.run(program))
+
+    def test_nonblocking_defers_receives(self, world4):
+        def program(ctx):
+            comm = ctx.comm
+            n = 2
+            send = np.full(n, ctx.rank + 10, dtype=np.uint8)
+            recv = np.zeros(n * comm.size, dtype=np.uint8)
+            request = comm.Iallgather(send, n, recv)
+            request.Wait()
+            expected = np.repeat(np.arange(10, 10 + comm.size, dtype=np.uint8), n)
+            assert np.array_equal(recv, expected)
+            return True
+
+        assert all(world4.run(program))
+
+    def test_mismatched_self_count_rejected(self):
+        def program(ctx):
+            buf = np.zeros(8, dtype=np.uint8)
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Allgatherv(buf, 2, buf, [3], [0])
+            return True
+
+        assert all(World(1).run(program))
+
+    def test_escaping_self_section_raises_before_posting(self):
+        """An invalid call fails on the offending rank without leaving peers
+        a half-completed collective (nothing may be posted first)."""
+
+        def program(ctx):
+            comm = ctx.comm
+            send = np.zeros(4, dtype=np.uint8)
+            recv = np.zeros(4, dtype=np.uint8)  # too small for displ 4
+            with pytest.raises(MpiArgumentError):
+                comm.Allgatherv(send, 4, recv, [4, 4], [4, 0])
+            # The failed call posted nothing: no stray message is pending.
+            assert comm.Probe() is None
+            return True
+
+        def peer(ctx):
+            return True
+
+        world = World(2, ranks_per_node=2)
+        results = world.run(lambda ctx: program(ctx) if ctx.rank == 0 else peer(ctx))
+        assert all(results)
+
+    def test_clock_charged_for_gather(self, world4):
+        def program(ctx):
+            comm = ctx.comm
+            n = 4096
+            send = np.zeros(n, dtype=np.uint8)
+            recv = np.zeros(n * comm.size, dtype=np.uint8)
+            before = ctx.clock.now
+            comm.Allgather(send, n, recv)
+            return ctx.clock.now - before
+
+        assert all(elapsed > 0 for elapsed in world4.run(program))
+
+
+class TestTypedAllgatherv:
+    """The datatype-carrying all-gather-v (system-MPI baseline path)."""
+
+    def test_strided_contributions_round_trip(self, world4):
+        def program(ctx):
+            comm = ctx.comm
+            t = TestTypedAlltoallv._vector(comm)
+            send = ctx.gpu.malloc(t.extent)
+            send.data[:] = ctx.rank + 1
+            recv = ctx.gpu.malloc(t.extent * comm.size)
+            recv.data[:] = 0
+            comm.Allgather(send, 1, recv, sendtype=t, recvtype=t)
+            for peer in range(comm.size):
+                base = peer * t.extent
+                for blk in range(4):
+                    section = recv.data[base + blk * 8 : base + blk * 8 + 2]
+                    assert (section == peer + 1).all()
+            return True
+
+        assert all(world4.run(program))
+
+    def test_half_specified_types_rejected(self):
+        def program(ctx):
+            t = TestTypedAlltoallv._vector(ctx.comm)
+            buf = ctx.gpu.malloc(t.extent)
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Allgather(buf, 1, buf, sendtype=t)
+            return True
+
+        assert all(World(1).run(program))
+
+    def test_inconsistent_self_section_rejected(self):
+        def program(ctx):
+            t = TestTypedAlltoallv._vector(ctx.comm)
+            buf = ctx.gpu.malloc(4 * t.extent)
+            with pytest.raises(MpiArgumentError):
+                ctx.comm.Allgatherv(buf, 1, buf, [2], [0], sendtype=t, recvtypes=t)
+            return True
+
+        assert all(World(1).run(program))

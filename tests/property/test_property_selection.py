@@ -1,0 +1,105 @@
+"""Property-based tests for the selection subsystem (PR 4).
+
+Two invariants pin the new subsystem to the old behaviour:
+
+* a :class:`~repro.tempi.selection.ContendedSelector` over an **idle** NIC
+  timeline decides exactly like a :class:`~repro.tempi.selection.ModelSelector`
+  (and both like ``PerformanceModel.choose_method``) for any (object size,
+  block length) — contention awareness must be a strict extension, not a
+  drift, of the contention-free Eqs. 1-3 path;
+* the plan-compiled ``Allgather``/``Allgatherv`` delivers byte-for-byte what
+  the baseline system path delivers, for any strided vector datatype, rank
+  count and per-rank contribution counts (including zero contributions,
+  contiguous fallbacks and the self-section).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.nic import NicTimeline
+from repro.mpi.constructors import Type_vector
+from repro.mpi.datatype import BYTE
+from repro.mpi.world import World
+from repro.tempi.interposer import interpose
+from repro.tempi.packer import Packer
+from repro.tempi.selection import ContendedSelector, ModelSelector
+from repro.tempi.strided_block import StridedBlock
+
+
+def _packer(size: int, block_length: int) -> Packer:
+    block_length = min(block_length, size)
+    nblocks = size // block_length
+    if nblocks <= 1:
+        shape = StridedBlock(start=0, counts=(block_length,), strides=(1,))
+    else:
+        shape = StridedBlock(
+            start=0, counts=(block_length, nblocks), strides=(1, 2 * block_length)
+        )
+    return Packer(shape, object_extent=shape.start + shape.extent)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size_exp=st.integers(min_value=0, max_value=22),
+    block=st.sampled_from((1, 2, 4, 8, 16, 32, 64, 128, 256, 512)),
+)
+def test_contended_selector_at_zero_load_equals_model(summit_model, size_exp, block):
+    size = 1 << size_exp
+    packer = _packer(size, block)
+    nbytes = packer.packed_size(1)
+    model_choice = ModelSelector(summit_model)(packer, nbytes)
+    contended_choice = ContendedSelector(summit_model, NicTimeline(), 0)(packer, nbytes)
+    assert contended_choice is model_choice
+    assert model_choice is summit_model.choose_method(nbytes, min(block, size))
+
+
+@st.composite
+def allgather_cases(draw):
+    """A world size, a vector datatype shape, and per-rank contribution counts."""
+    nranks = draw(st.integers(min_value=2, max_value=4))
+    nblocks = draw(st.integers(min_value=1, max_value=6))
+    block = draw(st.integers(min_value=1, max_value=8))
+    gap = draw(st.integers(min_value=0, max_value=8))  # gap 0: contiguous fallback
+    counts = draw(st.lists(st.integers(min_value=0, max_value=2), min_size=nranks, max_size=nranks))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return nranks, nblocks, block, block + gap, counts, seed
+
+
+def _run_allgather(use_tempi, summit_model, nranks, nblocks, block, pitch, counts, seed):
+    def program(ctx):
+        comm = interpose(ctx, model=summit_model) if use_tempi else ctx.comm
+        datatype = comm.Type_commit(Type_vector(nblocks, block, pitch, BYTE))
+        extent = datatype.extent
+        recvcounts = list(counts)
+        recvdispls = list(np.cumsum([0] + [c * extent for c in recvcounts[:-1]]).astype(int))
+        send = ctx.gpu.malloc(max(1, counts[ctx.rank] * extent))
+        recv = ctx.gpu.malloc(max(1, sum(recvcounts) * extent))
+        rng = np.random.default_rng(seed + ctx.rank)
+        send.data[:] = rng.integers(0, 255, send.nbytes, dtype=np.uint8)
+        comm.Allgatherv(
+            send,
+            counts[ctx.rank],
+            recv,
+            recvcounts,
+            recvdispls,
+            sendtype=datatype,
+            recvtypes=datatype,
+        )
+        return recv.data.copy()
+
+    return World(nranks, ranks_per_node=2).run(program)
+
+
+@settings(max_examples=25, deadline=None)
+@given(allgather_cases())
+def test_plan_allgatherv_equals_baseline(summit_model, case):
+    nranks, nblocks, block, pitch, counts, seed = case
+    baseline = _run_allgather(False, summit_model, nranks, nblocks, block, pitch, counts, seed)
+    accelerated = _run_allgather(True, summit_model, nranks, nblocks, block, pitch, counts, seed)
+    for rank, (expected, actual) in enumerate(zip(baseline, accelerated)):
+        assert np.array_equal(expected, actual), (
+            f"rank {rank} receive buffers diverge for {nranks} ranks, "
+            f"vector({nblocks},{block},{pitch}), counts={counts}"
+        )

@@ -184,3 +184,107 @@ class TestHaloIterationStats:
         neighbor = World(4, ranks_per_node=2).run(program, "neighbor")
         for a, b in zip(packed, neighbor):
             assert np.array_equal(a, b)
+
+
+def typed_allgather(ctx, comm, datatype, *, device=True, nonblocking=False):
+    """One uniform typed all-gather over ``comm``; returns the recv buffer."""
+    size = comm.Get_size()
+    alloc = ctx.gpu.malloc if device else (lambda n: np.zeros(n, dtype=np.uint8))
+    send = alloc(datatype.extent)
+    recv = alloc(datatype.extent * size)
+    (send.data if device else send)[:] = (ctx.rank + 1) % 251
+    if nonblocking:
+        comm.Iallgather(send, 1, recv, sendtype=datatype, recvtype=datatype).Wait()
+    else:
+        comm.Allgather(send, 1, recv, sendtype=datatype, recvtype=datatype)
+    return recv
+
+
+class TestAllgatherAcceleration:
+    """The root-less fan-out plan path (PR 4)."""
+
+    def test_strided_device_allgather_hits(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            typed_allgather(ctx, comm, vector_type(comm))
+            return (
+                comm.stats.collective_hits,
+                comm.stats.collective_fallbacks,
+                comm.stats.plans_built,
+            )
+
+        assert World(4, ranks_per_node=2).run(program) == [(1, 0, 1)] * 4
+
+    def test_accelerated_matches_baseline_bytes(self, summit_model):
+        def program(ctx, use_tempi):
+            comm = interpose(ctx, model=summit_model) if use_tempi else ctx.comm
+            recv = typed_allgather(ctx, comm, vector_type(comm))
+            return recv.data.copy()
+
+        baseline = World(4, ranks_per_node=2).run(program, False)
+        accelerated = World(4, ranks_per_node=2).run(program, True)
+        for base, fast in zip(baseline, accelerated):
+            assert np.array_equal(base, fast)
+
+    def test_one_pack_stage_fans_out(self, summit_model):
+        """The contribution is packed once and posted to every peer."""
+
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            typed_allgather(ctx, comm, vector_type(comm))
+            return dict(comm.stats.method_counts), comm.stats.stages_overlapped
+
+        for counts, overlapped in World(4, ranks_per_node=2).run(program):
+            # One shared pack stage, three posted wire messages.
+            assert sum(counts.values()) == 3
+            assert len(set(counts.values())) == 1  # all posts share one method
+            assert overlapped >= 1
+
+    def test_nonblocking_defers_unpacks(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            typed_allgather(ctx, comm, vector_type(comm), nonblocking=True)
+            return comm.stats.deferred_unpacks
+
+        assert all(n == 3 for n in World(4, ranks_per_node=2).run(program))
+
+    def test_contended_selection_runs_end_to_end(self, summit_model):
+        config = TempiConfig(selection="contended")
+
+        def program(ctx, use_tempi):
+            comm = interpose(ctx, config, model=summit_model) if use_tempi else ctx.comm
+            recv = typed_allgather(ctx, comm, vector_type(comm))
+            return recv.data.copy()
+
+        baseline = World(4, ranks_per_node=2).run(program, False)
+        contended = World(4, ranks_per_node=2).run(program, True)
+        for base, fast in zip(baseline, contended):
+            assert np.array_equal(base, fast)
+
+    def test_host_buffers_fall_back(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            typed_allgather(ctx, comm, vector_type(comm), device=False)
+            return (comm.stats.collective_hits, comm.stats.collective_fallbacks)
+
+        assert World(2, ranks_per_node=2).run(program) == [(0, 1)] * 2
+
+    def test_contiguous_type_falls_back(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            t = comm.Type_commit(Type_contiguous(16, BYTE))
+            recv = typed_allgather(ctx, comm, t)
+            assert (recv.data[:16] == 1).all()  # rank 0's fill value
+            return (comm.stats.collective_hits, comm.stats.collective_fallbacks)
+
+        assert World(2, ranks_per_node=2).run(program) == [(0, 1)] * 2
+
+    def test_byte_signature_not_interposed(self, summit_model):
+        def program(ctx):
+            comm = interpose(ctx, model=summit_model)
+            send = ctx.gpu.malloc(4)
+            recv = ctx.gpu.malloc(4 * comm.Get_size())
+            comm.Allgather(send, 4, recv)
+            return (comm.stats.collective_hits, comm.stats.collective_fallbacks)
+
+        assert World(2, ranks_per_node=2).run(program) == [(0, 0)] * 2

@@ -125,6 +125,23 @@ class TestExchangeEstimate:
     def test_empty_exchange_is_free(self, summit_model):
         assert summit_model.exchange_estimate([]) == (0.0, 0.0)
 
+    def test_zero_byte_messages_contribute_nothing(self, summit_model):
+        """Empty sections never reach the pricing primitives (which reject
+        nbytes <= 0) and never occupy the pipeline."""
+        padded = [(0, 8)] + self.MESSAGES + [(0, 64)]
+        assert summit_model.exchange_estimate(padded) == summit_model.exchange_estimate(
+            self.MESSAGES
+        )
+        assert summit_model.exchange_estimate([(0, 8)]) == (0.0, 0.0)
+
+    def test_default_overlap_is_the_canonical_constant(self, summit_model):
+        from repro.machine.network import DEFAULT_WIRE_OVERLAP
+
+        explicit = summit_model.exchange_estimate(
+            self.MESSAGES, wire_overlap=DEFAULT_WIRE_OVERLAP
+        )
+        assert summit_model.exchange_estimate(self.MESSAGES) == explicit
+
     def test_more_peers_grow_both_estimates(self, summit_model):
         serial_2, overlapped_2 = summit_model.exchange_estimate(self.MESSAGES[:2])
         serial_4, overlapped_4 = summit_model.exchange_estimate(self.MESSAGES)

@@ -1,0 +1,204 @@
+"""Tests for the unified method-selection subsystem (``tempi/selection.py``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.clock import VirtualClock
+from repro.gpu.cost_model import FREE_GPU
+from repro.gpu.runtime import CudaRuntime
+from repro.machine.nic import NicTimeline
+from repro.machine.spec import SUMMIT, summit_like
+from repro.tempi.cache import ResourceCache
+from repro.tempi.config import PackMethod, TempiConfig
+from repro.tempi.packer import Packer
+from repro.tempi.selection import (
+    NOOP_METHOD,
+    CalibrationRegistry,
+    ContendedSelector,
+    FixedSelector,
+    ModelSelector,
+    SelectionError,
+    contended_estimate,
+    make_selector,
+)
+from repro.tempi.strided_block import StridedBlock
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+def packer_for(block_length: int) -> Packer:
+    shape = StridedBlock(start=0, counts=(block_length, 64), strides=(1, 2 * block_length))
+    return Packer(shape, object_extent=shape.extent)
+
+
+class TestFixedSelector:
+    def test_returns_configured_method(self):
+        selector = FixedSelector(PackMethod.STAGED)
+        assert selector(packer_for(8), KIB) is PackMethod.STAGED
+
+    def test_rejects_auto(self):
+        with pytest.raises(SelectionError):
+            FixedSelector(PackMethod.AUTO)
+
+    def test_zero_bytes_is_noop(self):
+        assert FixedSelector(PackMethod.ONESHOT)(packer_for(8), 0) is NOOP_METHOD
+
+
+class TestModelSelector:
+    def test_matches_choose_method(self, summit_model):
+        selector = ModelSelector(summit_model)
+        for nbytes, block in ((KIB, 8), (64 * KIB, 64), (4 * MIB, 8)):
+            assert selector(packer_for(block), nbytes) is summit_model.choose_method(
+                nbytes, block
+            )
+
+    def test_zero_bytes_never_queries(self, summit_model):
+        selector = ModelSelector(summit_model)
+        queries = summit_model.queries
+        assert selector(packer_for(8), 0) is NOOP_METHOD
+        assert selector(packer_for(8), -3) is NOOP_METHOD
+        assert summit_model.queries == queries
+
+    def test_charges_query_overhead_through_cache(self, summit_model):
+        clock = VirtualClock()
+        cache = ResourceCache(CudaRuntime(cost_model=FREE_GPU))
+        config = TempiConfig()
+        selector = ModelSelector(summit_model, cache=cache, clock=clock, config=config)
+        selector(packer_for(8), KIB)
+        cold = clock.now
+        assert cold == pytest.approx(config.model_query_s)
+        selector(packer_for(8), KIB)
+        assert clock.now - cold == pytest.approx(config.model_cached_query_s)
+
+    def test_lazy_model_provider(self, summit_model):
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return summit_model
+
+        selector = ModelSelector(provider)
+        assert not calls
+        selector(packer_for(8), KIB)
+        selector(packer_for(8), 2 * KIB)
+        assert calls == [1]
+
+
+class TestContendedSelector:
+    def test_idle_port_equals_model(self, summit_model):
+        nic = NicTimeline()
+        contended = ContendedSelector(summit_model, nic, 0)
+        model = ModelSelector(summit_model)
+        for nbytes, block in ((KIB, 8), (16 * KIB, 4), (MIB, 256)):
+            assert contended(packer_for(block), nbytes) is model(packer_for(block), nbytes)
+
+    def test_backlog_shifts_the_crossover(self, summit_model):
+        # 4 KiB in single-byte runs: device wins idle, one-shot under backlog
+        # (its pack penalty hides behind the queued port).
+        nic = NicTimeline()
+        nic.reserve(0, 1, 0.0, 200e-6, 4 * KIB)
+        selector = ContendedSelector(summit_model, nic, 0)
+        packer = Packer(
+            StridedBlock(start=0, counts=(1, 4 * KIB), strides=(1, 2)), object_extent=2 * 4 * KIB
+        )
+        nbytes = packer.packed_size(1)
+        assert nbytes == 4 * KIB
+        assert summit_model.choose_method(nbytes, 1) is PackMethod.DEVICE
+        assert selector(packer, nbytes) is PackMethod.ONESHOT
+
+    def test_backlog_reads_this_ranks_port_only(self, summit_model):
+        nic = NicTimeline()
+        nic.reserve(1, 2, 0.0, 200e-6, 4 * KIB)  # another rank's traffic
+        selector = ContendedSelector(summit_model, nic, 0)
+        assert selector.backlog() == 0.0
+
+    def test_requires_a_timeline(self, summit_model):
+        with pytest.raises(SelectionError):
+            ContendedSelector(summit_model, None, 0)
+
+    def test_estimate_rejects_negative_backlog(self, summit_model):
+        with pytest.raises(SelectionError):
+            contended_estimate(summit_model, KIB, 8, -1.0)
+
+    def test_estimate_zero_backlog_matches_model(self, summit_model):
+        for nbytes, block in ((KIB, 8), (64 * KIB, 64), (4 * MIB, 8)):
+            estimate = contended_estimate(summit_model, nbytes, block, 0.0)
+            assert estimate.best() is summit_model.choose_method(nbytes, block)
+
+
+class TestMakeSelector:
+    def test_default_is_model(self, summit_model):
+        selector = make_selector(TempiConfig(), summit_model)
+        assert type(selector) is ModelSelector
+
+    def test_contended_needs_nic(self, summit_model):
+        config = TempiConfig(selection="contended")
+        assert type(make_selector(config, summit_model)) is ModelSelector
+        nic = NicTimeline()
+        selector = make_selector(config, summit_model, nic=nic, rank=3)
+        assert type(selector) is ContendedSelector
+        assert selector.nic is nic and selector.rank == 3
+
+    def test_forced_method_wins_over_policy(self, summit_model):
+        config = TempiConfig(selection="contended", method=PackMethod.DEVICE)
+        selector = make_selector(config, summit_model, nic=NicTimeline())
+        assert type(selector) is FixedSelector
+
+    def test_fixed_policy_requires_concrete_method(self, summit_model):
+        config = TempiConfig(selection="fixed", method=PackMethod.ONESHOT)
+        assert type(make_selector(config, summit_model)) is FixedSelector
+
+    def test_config_validates_selection(self):
+        with pytest.raises(ValueError):
+            TempiConfig(selection="psychic")
+        with pytest.raises(ValueError):
+            TempiConfig(selection="fixed")  # AUTO method has nothing to fix
+
+
+class TestCalibrationRegistry:
+    def test_models_are_cached_per_machine(self, summit_measurement):
+        registry = CalibrationRegistry()
+        model = registry.register(summit_measurement)
+        assert registry.model_for(SUMMIT) is model
+        assert registry.machines() == [SUMMIT.name]
+        assert SUMMIT in registry and "summit-like" in registry
+
+    def test_machines_coexist(self, summit_measurement):
+        registry = CalibrationRegistry()
+        registry.register(summit_measurement)
+        other = summit_like(eager_threshold=8 * KIB).with_overrides(name="other-machine")
+        other_model = registry.model_for(other)
+        assert registry.model_for(SUMMIT) is not other_model
+        assert registry.machines() == ["other-machine", SUMMIT.name]
+
+    def test_directory_round_trip(self, summit_measurement, tmp_path):
+        path = CalibrationRegistry.measurement_path(tmp_path, SUMMIT.name)
+        summit_measurement.save(path)
+        registry = CalibrationRegistry(tmp_path)
+        model = registry.model_for(SUMMIT)
+        assert model.measurement.machine_name == SUMMIT.name
+        # A second registry measures nothing: the file is already there.
+        assert CalibrationRegistry(tmp_path).model_for(SUMMIT) is not model
+
+    def test_directory_persists_fresh_measurements(self, tmp_path):
+        tiny = summit_like().with_overrides(name="tiny-machine")
+        registry = CalibrationRegistry(tmp_path)
+        registry.model_for(tiny)
+        assert CalibrationRegistry.measurement_path(tmp_path, "tiny-machine").exists()
+
+    def test_wrong_machine_file_is_rejected(self, summit_measurement, tmp_path):
+        path = tmp_path / "m.json"
+        summit_measurement.save(path)
+        registry = CalibrationRegistry()
+        other = summit_like().with_overrides(name="not-summit")
+        with pytest.raises(SelectionError):
+            registry.load(path, other)
+
+    def test_register_requires_machine_name(self, summit_measurement):
+        from dataclasses import replace
+
+        anonymous = replace(summit_measurement, machine_name="unknown")
+        with pytest.raises(SelectionError):
+            CalibrationRegistry().register(anonymous)

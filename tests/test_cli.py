@@ -55,6 +55,41 @@ class TestHaloCommand:
         assert main(["halo", "--nodes", "0"]) == 2
 
 
+class TestSelectTableCommand:
+    @pytest.fixture(scope="class")
+    def measurement_file(self, tmp_path_factory):
+        output = tmp_path_factory.mktemp("cli") / "m.json"
+        main(["measure", "--output", str(output)])
+        return output
+
+    def test_contention_free_table(self, measurement_file, capsys):
+        code = main([
+            "select-table", "--measurement", str(measurement_file),
+            "--sizes", "1024", "4096", "--blocks", "1", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "contention-free" in out
+        assert "oneshot" in out and "device" in out
+
+    def test_backlog_moves_the_crossover(self, measurement_file, capsys):
+        args = ["select-table", "--measurement", str(measurement_file),
+                "--sizes", "4096", "--blocks", "1"]
+        main(args)
+        idle = capsys.readouterr().out
+        assert "device" in idle
+        main(args + ["--plans", "4"])
+        loaded = capsys.readouterr().out
+        assert "4 concurrent plans" in loaded
+        assert "oneshot" in loaded and "device" not in loaded.splitlines()[-1]
+
+    def test_invalid_arguments_return_error(self, measurement_file, capsys):
+        assert main(["select-table", "--measurement", str(measurement_file),
+                     "--plans", "-1"]) == 2
+        assert main(["select-table", "--measurement", str(measurement_file),
+                     "--sizes", "0"]) == 2
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
