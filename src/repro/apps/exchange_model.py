@@ -22,7 +22,14 @@ Three engines are priced:
 * :func:`model_contended_exchange` — the same pipeline with ``plans``
   concurrent exchanges sharing one rank's injection port and links (the
   :class:`~repro.machine.nic.NicTimeline` rules), with a per-plan ablation;
-  :func:`overlap_efficiency` is the Fig. 15 degradation curve.
+  :func:`overlap_efficiency` is the Fig. 15 degradation curve;
+* :func:`model_duplex_exchange` — the receive-side companion: an
+  N-senders→1-receiver **incast**, where every sender's port is idle and the
+  whole burst converges on the hot receiver's ingestion port; the
+  ``nic="inject_only"`` ablation prices the same burst the PR-3/PR-4 way
+  (arrivals land whenever their senders computed) and
+  :func:`incast_efficiency` is the ratio — how much of the advertised
+  arrival schedule survives the receiver bottleneck.
 
 Because every rank owns an identical sub-domain and the decomposition is
 periodic, ranks are statistically identical; the model evaluates one
@@ -37,7 +44,7 @@ from dataclasses import dataclass
 
 from repro.apps.halo import DIRECTIONS, HaloSpec, RankGrid
 from repro.machine.network import DEFAULT_WIRE_OVERLAP, NetworkModel
-from repro.machine.nic import NicTimeline
+from repro.machine.nic import IngestRecord, NicTimeline
 from repro.machine.spec import SUMMIT, MachineSpec
 from repro.machine.topology import Topology
 from repro.tempi.config import TempiConfig
@@ -266,6 +273,7 @@ def model_contended_exchange(
     config: TempiConfig | None = None,
     wire_overlap: float = DEFAULT_WIRE_OVERLAP,
     shared_nic: bool = True,
+    nic: str = "duplex",
 ) -> ExchangeBreakdown:
     """Price ``plans`` concurrent overlapped exchanges sharing one rank's NIC.
 
@@ -284,6 +292,17 @@ def model_contended_exchange(
     (contended) one — degrades monotonically from 1.0 toward the injection
     bound; ``bench_fig15_contention.py`` measures the same ratio functionally.
 
+    ``nic="duplex"`` (the default, matching the runtime) additionally
+    serialises the mirror arrivals on the rank's ingestion port before the
+    unpacks start.  For this *balanced* exchange the mirror arrivals are, by
+    symmetry, the rank's own outgoing arrivals — already spaced by at least
+    the injection-port occupancy of their predecessors — so the ingestion
+    replay is provably a no-op: a balanced all-to-all has no receive-side
+    skew to price, and duplex accounting leaves Fig. 15 untouched (a
+    property the test suite pins).  The skewed case where the receive side
+    *does* bite is :func:`model_duplex_exchange`.  ``nic="inject_only"``
+    skips the replay outright (the PR-3/PR-4 books).
+
     The returned breakdown covers the whole ``plans``-wide burst: ``pack_s``
     until the last pack is wire-ready, ``comm_s`` until the last arrival,
     ``unpack_s`` the receive tail.
@@ -292,6 +311,8 @@ def model_contended_exchange(
         raise ValueError("nodes and ranks_per_node must be positive")
     if plans <= 0:
         raise ValueError(f"plans must be positive, got {plans}")
+    if nic not in ("duplex", "inject_only"):
+        raise ValueError(f"nic must be 'duplex' or 'inject_only', got {nic!r}")
     spec = spec if spec is not None else HaloSpec.paper()
     config = config if config is not None else TempiConfig()
     nranks = nodes * ranks_per_node
@@ -323,13 +344,13 @@ def model_contended_exchange(
         host = 0.0
         # The analytic walk reserves on a real NicTimeline, so the port and
         # link rules can never drift from what the simulator charges.
-        nic = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
-        arrivals: list[tuple[list, float]] = []
+        timeline = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+        arrivals: list[tuple[list, float, float]] = []
         last_pack = 0.0
         for _ in range(plans):
             if not shared_nic:
                 # PR-2 per-plan accounting: a fresh cursor per plan.
-                nic = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+                timeline = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
             host += overhead  # handler lookup + pointer check, once per plan
             for peer, directions in groups.items():
                 ready = host
@@ -342,8 +363,8 @@ def model_contended_exchange(
                     same_node=topology.same_node(rank, peer),
                     device_buffers=True,
                 )
-                reservation = nic.reserve(rank, peer, ready, wire, nbytes)
-                arrivals.append((directions, reservation.arrival))
+                reservation = timeline.reserve(rank, peer, ready, wire, nbytes)
+                arrivals.append((directions, reservation, wire))
                 last_pack = max(last_pack, ready)
             # Each plan's off-wire self-exchange runs synchronously.
             for direction in local_dirs:
@@ -351,9 +372,28 @@ def model_contended_exchange(
             for direction in local_dirs:
                 host += launch_s + kernel_device_s(direction, unpack=True) + sync_s
         last_pack = max(last_pack, host)
+        if shared_nic and nic == "duplex":
+            # Serialise the mirror arrivals on the rank's ingestion port (the
+            # NicTimeline mirror rule) in reservation order — the key order of
+            # this single-source walk.  Balanced mirror arrivals are already
+            # spaced by the injection-port rule, so this is an exact no-op
+            # here; it guards the walk against ever drifting from the
+            # simulator's two-sided accounting.
+            ingest_free = 0.0
+            adjusted = []
+            for directions, reservation, wire in arrivals:
+                landing = max(reservation.arrival, ingest_free + wire)
+                ingest_free = max(reservation.start, ingest_free) + wire_overlap * wire
+                adjusted.append((directions, landing, wire))
+            arrivals = adjusted
+        else:
+            arrivals = [
+                (directions, reservation.arrival, wire)
+                for directions, reservation, wire in arrivals
+            ]
         finishes = []
         last_arrival = host
-        for directions, arrival in arrivals:
+        for directions, arrival, _ in arrivals:
             host = max(host, arrival)
             last_arrival = max(last_arrival, arrival)
             ready = host
@@ -375,6 +415,126 @@ def model_contended_exchange(
         comm_s=worst[1],
         unpack_s=worst[2],
     )
+
+
+@dataclass(frozen=True)
+class IncastBreakdown:
+    """Modelled timeline of an N-senders→1-receiver incast burst."""
+
+    senders: int
+    nbytes: int
+    #: Virtual time each sender's pack completes (all senders identical).
+    pack_s: float
+    #: First landing at the receiver (never delayed: the port was idle).
+    first_landing_s: float
+    #: Last landing at the receiver — the burst's completion.
+    completion_s: float
+    #: Total receive-side queueing across the burst (zero under the
+    #: ``inject_only`` ablation, by construction).
+    ingest_stalled_s: float
+
+
+def model_duplex_exchange(
+    senders: int,
+    nbytes: int,
+    *,
+    block_length: int = 512,
+    machine: MachineSpec = SUMMIT,
+    nic: str = "duplex",
+    wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+) -> IncastBreakdown:
+    """Price an N-senders→1-receiver incast on the duplex NIC rules.
+
+    The skew the balanced-exchange models cannot exhibit: every sender packs
+    one ``nbytes`` message (device kernels, ``block_length`` runs) and
+    injects it on its **own, idle** port, so all N wire transfers start
+    together and their last bytes would land at the hot receiver at the same
+    instant.  Under ``nic="duplex"`` the landings serialise on the receiver's
+    ingestion port (the :class:`~repro.machine.nic.NicTimeline` mirror rule,
+    evaluated on a real timeline so this walk can never drift from the
+    simulator): completion grows by ``wire_overlap * wire`` per extra sender.
+    Under the ``nic="inject_only"`` ablation every landing stays at its
+    sender-computed arrival and completion is flat in N — the PR-3/PR-4
+    books, which is exactly what ``bench_incast.py`` measures functionally.
+    """
+    if senders <= 0:
+        raise ValueError(f"senders must be positive, got {senders}")
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    if nic not in ("duplex", "inject_only"):
+        raise ValueError(f"nic must be 'duplex' or 'inject_only', got {nic!r}")
+    network = NetworkModel(machine)
+    gpu = machine.node.gpu
+    pack = gpu.kernel_time(nbytes, min(block_length, nbytes), target="device", unpack=False)
+    wire = network.message_time(nbytes, same_node=False, device_buffers=True)
+    timeline = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+    reservations = [
+        timeline.reserve(source, 0, pack, wire, nbytes)
+        for source in range(1, senders + 1)
+    ]
+    arrivals = [r.arrival for r in reservations]
+    if nic == "duplex":
+        landings = timeline.ingest(
+            0,
+            [
+                IngestRecord(
+                    post_time=r.start,
+                    source=source,
+                    seq=r.seq,
+                    wire_s=wire,
+                    arrival=r.arrival,
+                )
+                for source, r in enumerate(reservations, start=1)
+            ],
+        )
+    else:
+        landings = arrivals
+    return IncastBreakdown(
+        senders=senders,
+        nbytes=nbytes,
+        pack_s=pack,
+        first_landing_s=min(landings),
+        completion_s=max(landings),
+        ingest_stalled_s=sum(
+            landing - arrival for landing, arrival in zip(landings, arrivals)
+        ),
+    )
+
+
+def incast_efficiency(
+    senders: int,
+    nbytes: int,
+    *,
+    block_length: int = 512,
+    machine: MachineSpec = SUMMIT,
+    wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+) -> float:
+    """How much of the advertised arrival schedule survives the hot receiver.
+
+    The ratio of the incast's completion priced send-side only
+    (``nic="inject_only"``: every landing at its sender-computed arrival) to
+    the same burst priced on the duplex rules (landings serialised on the
+    receiver's ingestion port).  1.0 for a single sender by construction;
+    decreases monotonically toward the ingestion bound as senders pile on —
+    the receive-side counterpart of :func:`overlap_efficiency`.
+    """
+    inject_only = model_duplex_exchange(
+        senders,
+        nbytes,
+        block_length=block_length,
+        machine=machine,
+        nic="inject_only",
+        wire_overlap=wire_overlap,
+    )
+    duplex = model_duplex_exchange(
+        senders,
+        nbytes,
+        block_length=block_length,
+        machine=machine,
+        nic="duplex",
+        wire_overlap=wire_overlap,
+    )
+    return inject_only.completion_s / duplex.completion_s
 
 
 def model_selected_exchange(

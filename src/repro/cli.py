@@ -16,11 +16,17 @@ used while studying the model:
     Evaluate the paper-scale halo-exchange model (Fig. 12) for one scale
     point, printing the phase breakdown and the speedup over the baseline.
 
-``python -m repro.cli select-table --plans 4``
+``python -m repro.cli select-table --plans 4 --nic duplex --incast 4``
     Dump the selected packing method per (object size, block length) grid
-    cell — the Fig. 9b selection map — contention-free (``--plans 0``) or
-    with the injection-port backlog of N concurrent plans folded in, through
-    the same :mod:`repro.tempi.selection` pricing the interposer uses.
+    cell — the Fig. 9b selection map — contention-free (all loads 0) or
+    under NIC backlog, through the same :mod:`repro.tempi.selection` pricing
+    the interposer uses.  ``--plans`` folds in this rank's injection-port
+    queue, ``--incast`` the destination's ingestion-port queue and
+    ``--link-busy`` the occupancy of the link to it (the latter two priced
+    only under ``--nic duplex``; ``--nic inject_only`` is the PR-4
+    injection-only ablation).  Under load each cell is annotated with the
+    term that bound it: ``/pak`` (its own pack kernel), ``/inj`` (injection
+    port), ``/lnk`` (link) or ``/ing`` (ingestion port).
 """
 
 from __future__ import annotations
@@ -69,7 +75,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="measurement file from 'measure' (measured on the fly if omitted)")
     table.add_argument("--plans", type=int, default=0,
                        help="concurrent plans' worth of injection-port backlog to fold in "
-                            "(0: contention-free model selection)")
+                            "(0: no send-side queue)")
+    table.add_argument("--nic", choices=("duplex", "inject_only"), default="duplex",
+                       help="NIC accounting to price with: 'duplex' folds link and "
+                            "ingestion backlog in, 'inject_only' is the PR-4 "
+                            "injection-only ablation")
+    table.add_argument("--incast", type=int, default=0,
+                       help="senders' worth of ingestion-port backlog converging on the "
+                            "destination peer (duplex only; the hot-receiver term)")
+    table.add_argument("--link-busy", type=int, default=0,
+                       help="pending messages' worth of full-wire occupancy on the link "
+                            "to the destination (duplex only)")
     table.add_argument("--sizes", type=int, nargs="*", default=None,
                        help="object sizes in bytes (default: 256 B to 4 MiB, powers of two)")
     table.add_argument("--blocks", type=int, nargs="*", default=None,
@@ -128,8 +144,8 @@ def _cmd_select_table(args: argparse.Namespace) -> int:
     from repro.tempi.measurement import DEFAULT_BLOCKS
     from repro.tempi.selection import contended_estimate
 
-    if args.plans < 0:
-        print("error: --plans must be non-negative", file=sys.stderr)
+    if args.plans < 0 or args.incast < 0 or args.link_busy < 0:
+        print("error: --plans, --incast and --link-busy must be non-negative", file=sys.stderr)
         return 2
     sizes = args.sizes if args.sizes else [1 << p for p in range(8, 23)]
     blocks = args.blocks if args.blocks else list(DEFAULT_BLOCKS)
@@ -138,27 +154,51 @@ def _cmd_select_table(args: argparse.Namespace) -> int:
         return 2
     model = _load_model(args.measurement)
     network = NetworkModel(SUMMIT)
-    load = (
-        "contention-free"
-        if args.plans == 0
-        else f"{args.plans} concurrent plans' injection backlog"
-    )
+    duplex = args.nic == "duplex"
+    incast = args.incast if duplex else 0
+    link_busy = args.link_busy if duplex else 0
+    loaded = args.plans or incast or link_busy
+    parts = [f"nic={args.nic}"]
+    if args.plans:
+        parts.append(f"{args.plans} concurrent plans' injection backlog")
+    if incast:
+        parts.append(f"{incast} senders' ingestion backlog at the destination")
+    if link_busy:
+        parts.append(f"{link_busy} messages queued on the link")
+    if (args.incast or args.link_busy) and not duplex:
+        parts.append("(--incast/--link-busy ignored: inject_only prices the send side only)")
+    if not loaded:
+        load = ", ".join(["contention-free", parts[0]] + parts[1:])
+    else:
+        load = ", ".join(parts)
     print(f"selected method per (size, block length) cell — {load}")
-    print("bytes      " + "".join(f"{block:>9}" for block in blocks))
+    if loaded:
+        print("each cell: method/bound — pak=pack kernel, inj=injection port, "
+              "lnk=link, ing=ingestion port")
+    width = 13 if loaded else 9
+    print("bytes      " + "".join(f"{block:>{width}}" for block in blocks))
     for size in sizes:
         cells = []
         for block in blocks:
-            if args.plans == 0:
-                method = model.choose_method(size, min(block, size))
-            else:
-                # Each in-flight plan parks one inter-node message of this
-                # size on the port — the same load shape the Fig. 9 benchmark
-                # sweeps — and selection prices the queue it would see.
-                wire = network.message_time(size, same_node=False, device_buffers=True)
-                backlog = args.plans * DEFAULT_WIRE_OVERLAP * wire
-                method = contended_estimate(model, size, min(block, size), backlog).best()
-            cells.append(method.value)
-        print(f"{size:>9}  " + "".join(f"{cell:>9}" for cell in cells))
+            if not loaded:
+                cells.append(model.choose_method(size, min(block, size)).value)
+                continue
+            # Each in-flight plan parks one inter-node message of this size
+            # on the respective port — the same load shape the Fig. 9 and
+            # incast benchmarks sweep — and selection prices the queues it
+            # would see.
+            wire = network.message_time(size, same_node=False, device_buffers=True)
+            estimate = contended_estimate(
+                model,
+                size,
+                min(block, size),
+                args.plans * DEFAULT_WIRE_OVERLAP * wire,
+                link_backlog_s=link_busy * wire,
+                ingest_backlog_s=incast * DEFAULT_WIRE_OVERLAP * wire,
+            )
+            bound = {"pack": "pak", "inject": "inj", "link": "lnk", "ingest": "ing"}
+            cells.append(f"{estimate.best().value}/{bound[estimate.bound()]}")
+        print(f"{size:>9}  " + "".join(f"{cell:>{width}}" for cell in cells))
     return 0
 
 

@@ -1,31 +1,61 @@
-"""The virtual NIC timeline: shared injection-port and link occupancy.
+"""The virtual NIC timeline: full-duplex injection/ingestion-port accounting.
 
 Before this module existed, the wire was priced *per plan*: the plan executor
 kept a local ``nic_free`` cursor for the duration of one collective, so two
 plans in flight at once (two ``Ialltoallv``s, a burst of ``Isend``s) never
 contended for the NIC and the simulator over-reported the overlap win exactly
 where injection-rate limits should bite.  :class:`NicTimeline` is the shared
-ledger that makes the accounting honest:
+ledger that makes the accounting honest — on **both ends of the wire**.
+
+Send side (the PR-3 rules, unchanged and always active):
 
 * every rank owns one **injection port**; all messages a rank injects —
   across plans, across operations — serialise on it at
   :data:`~repro.machine.network.DEFAULT_WIRE_OVERLAP` occupancy (the same
   factor the analytic all-to-all-v model discounts by, so single-plan pricing
-  is unchanged);
+  is unchanged)::
+
+      start    = max(ready, port_free[src], link_free[src, dst])
+      arrival  = start + wire
+      port_free[src]      = start + overlap * wire
+      link_free[src, dst] = arrival
+
 * every directed ``(source, destination)`` pair is a **link** on which
   messages serialise *fully*: two messages from one rank to the same peer
   share everything end to end and cannot pipeline the way messages to
   distinct peers can.
 
-The timeline is deliberately source-scoped: a rank's reservations depend only
-on its *own* call order, never on the wall-clock interleaving of other rank
-threads, which keeps the simulation deterministic.  Remote (receive-side)
-contention is therefore not modelled; the injection port is where the paper's
-Fig. 14-style overlap saturates first anyway.
+Receive side (``TempiConfig(nic="duplex")``): every rank also owns one
+**ingestion port**, the mirror of its injection port.  A message whose last
+byte would land at ``arrival`` occupies the destination's ingestion port for
+the same ``overlap`` fraction of its wire time, aligned at the *start* of its
+landing window — so a lone message (or a stream whose arrivals are already
+spaced by the sender-side port rule) is never delayed, while an **incast**
+(many senders converging on one receiver) queues::
+
+      begin    = max(arrival - wire, ingest_free[dst])
+      landing  = begin + wire                      # the delayed arrival
+      ingest_free[dst] = begin + overlap * wire
+
+Determinism.  Send-side reservations are **source-scoped**: a rank's
+injection timing depends only on its own call order, never on the wall-clock
+interleaving of other rank threads.  Receive-side reservations necessarily
+mix sources, so they are committed by the *receiving* rank (in its own
+program order — deterministic) through :meth:`NicTimeline.ingest`, and every
+commit batch is internally ordered by the message key ``(post_time,
+source_rank, seq)`` — ``post_time`` being the virtual time the message
+entered the wire and ``seq`` a per-source counter — so one plan's receive
+set prices identically however the executor threads interleaved the posts.
+:meth:`ingest_backlog` additionally exposes an *advisory* view of the
+posted-but-not-yet-ingested traffic converging on a rank, which is what the
+contention-aware method selector prices a hot peer with.
 
 One timeline is shared by all ranks of a :class:`~repro.mpi.world.World`
 (it hangs off ``world.nic``); the :class:`~repro.tempi.progress.ProgressEngine`
-reserves slots on it when ``TempiConfig(progress="shared")`` is active.
+reserves injection slots and commits ingestion batches on it when
+``TempiConfig(progress="shared")`` is active, and skips the receive side
+entirely under the ``nic="inject_only"`` ablation (the PR-3/PR-4
+accounting, bit-for-bit).
 """
 
 from __future__ import annotations
@@ -33,6 +63,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
 
@@ -51,6 +82,10 @@ class NicReservation:
     arrival: float
     #: Seconds the message waited on port/link occupancy beyond its ready time.
     stalled_s: float
+    #: Serial wire seconds the message occupies (as passed to ``reserve``).
+    wire_s: float = 0.0
+    #: Per-source sequence number (the deterministic ingestion tie-break).
+    seq: int = -1
 
     @property
     def stalled(self) -> bool:
@@ -69,12 +104,37 @@ class LinkRecord:
     nbytes: int
 
 
-class NicTimeline:
-    """Per-rank injection ports plus a per-link occupancy ledger.
+@dataclass(frozen=True)
+class IngestRecord:
+    """One message's receive-side identity: who sent what, entering when.
 
-    Thread-safe: ranks run on threads and reserve concurrently.  Each port is
-    only ever advanced by its owning rank, so per-rank virtual timing stays
-    deterministic; the lock merely keeps the shared dictionaries coherent.
+    ``post_time`` is the virtual time the message entered the wire (the
+    injection reservation's ``start``); ``arrival`` the time its last byte
+    would land on an idle ingestion port; ``seq`` the sender's per-source
+    sequence number.  ``(post_time, source, seq)`` is the deterministic
+    cross-rank ordering every ingestion batch is served in.
+    """
+
+    post_time: float
+    source: int
+    seq: int
+    wire_s: float
+    arrival: float
+
+    @property
+    def key(self) -> tuple[float, int, int]:
+        """The deterministic ingestion-service order of this message."""
+        return (self.post_time, self.source, self.seq)
+
+
+class NicTimeline:
+    """Per-rank injection *and* ingestion ports plus a per-link ledger.
+
+    Thread-safe: ranks run on threads and reserve concurrently.  Each
+    injection port is only ever advanced by its owning (sending) rank and
+    each ingestion port only by its owning (receiving) rank, so per-rank
+    virtual timing stays deterministic; the lock merely keeps the shared
+    dictionaries coherent.
     """
 
     def __init__(
@@ -82,30 +142,56 @@ class NicTimeline:
         *,
         wire_overlap: float = DEFAULT_WIRE_OVERLAP,
         ledger_limit: int = 4096,
+        pending_limit: int = 4096,
     ) -> None:
         if not 0 < wire_overlap <= 1:
             raise NicError(f"wire_overlap must be in (0, 1], got {wire_overlap}")
         if ledger_limit < 0:
             raise NicError(f"ledger_limit must be non-negative, got {ledger_limit}")
+        if pending_limit < 0:
+            raise NicError(f"pending_limit must be non-negative, got {pending_limit}")
         self.wire_overlap = wire_overlap
         self.ledger_limit = ledger_limit
+        self.pending_limit = pending_limit
         self._ports: dict[int, float] = {}
         self._links: dict[tuple[int, int], float] = {}
+        self._ingest_ports: dict[int, float] = {}
+        self._seqs: dict[int, int] = {}
+        #: Posted-but-not-yet-ingested messages per destination (advisory:
+        #: consumed at ingest time, pruned once drained, bounded).
+        self._pending: dict[int, dict[tuple[float, int, int], IngestRecord]] = {}
         self._ledger: deque[LinkRecord] = deque(maxlen=ledger_limit or 1)
         self._lock = threading.Lock()
         self.reservations = 0
         self.stalls = 0
         self.stalled_s = 0.0
+        self.ingests = 0
+        self.ingest_stalls = 0
+        self.ingest_stalled_s = 0.0
 
     # ---------------------------------------------------------------- reserve
-    def reserve(self, source: int, dest: int, ready: float, wire_s: float, nbytes: int = 0) -> NicReservation:
-        """Place one message of ``wire_s`` seconds on the timeline.
+    def reserve(
+        self,
+        source: int,
+        dest: int,
+        ready: float,
+        wire_s: float,
+        nbytes: int = 0,
+        *,
+        ingest: bool = True,
+    ) -> NicReservation:
+        """Place one message of ``wire_s`` seconds on the timeline (send side).
 
         The message starts at the latest of its ``ready`` time, the source's
         injection-port free time and the ``(source, dest)`` link free time.
         The port is occupied for ``wire_overlap * wire_s`` (messages to
         distinct peers pipeline); the link for the full ``wire_s`` (messages
-        to the same peer serialise end to end).
+        to the same peer serialise end to end).  The reservation carries the
+        per-source ``seq`` that, with its start time, orders the message on
+        the destination's ingestion port; ``ingest=False`` (the engine's
+        inject-only books) skips the destination's advisory pending ledger —
+        a message that will never be ingested must not look like receive-side
+        backlog.
         """
         if wire_s < 0:
             raise NicError(f"wire time must be non-negative, got {wire_s}")
@@ -118,6 +204,8 @@ class NicTimeline:
             self._ports[source] = start + self.wire_overlap * wire_s
             self._links[link_key] = arrival
             self.reservations += 1
+            seq = self._seqs.get(source, 0)
+            self._seqs[source] = seq + 1
             stalled = start - ready
             if stalled > 0:
                 self.stalls += 1
@@ -125,7 +213,96 @@ class NicTimeline:
             if self.ledger_limit:
                 # deque(maxlen=...) drops the oldest record in O(1).
                 self._ledger.append(LinkRecord(source, dest, start, arrival, int(nbytes)))
-            return NicReservation(start=start, arrival=arrival, stalled_s=max(0.0, stalled))
+            if ingest and wire_s > 0 and self.pending_limit:
+                self._register_pending(
+                    dest, IngestRecord(start, source, seq, wire_s, arrival)
+                )
+            return NicReservation(
+                start=start,
+                arrival=arrival,
+                stalled_s=max(0.0, stalled),
+                wire_s=wire_s,
+                seq=seq,
+            )
+
+    def next_seq(self, source: int) -> int:
+        """Allocate one per-source sequence number (batched-send envelopes)."""
+        with self._lock:
+            seq = self._seqs.get(source, 0)
+            self._seqs[source] = seq + 1
+            return seq
+
+    def _register_pending(self, dest: int, record: IngestRecord) -> None:
+        """Track one posted arrival on the (bounded) advisory ledger."""
+        pending = self._pending.setdefault(dest, {})
+        pending[record.key] = record
+        if len(pending) > self.pending_limit:
+            # Drop the earliest-keyed record: it drains first, so losing it
+            # only makes the (advisory) backlog estimate conservative.
+            del pending[min(pending)]
+
+    # ----------------------------------------------------------------- ingest
+    def ingest(self, dest: int, records: Sequence[IngestRecord]) -> list[float]:
+        """Commit one batch of arrivals to ``dest``'s ingestion port.
+
+        The batch is served in the deterministic ``(post_time, source, seq)``
+        order whatever order the caller collected the envelopes in; each
+        message's landing window is aligned against the port cursor by the
+        mirror of the injection rule (see the module docstring), so arrivals
+        already spaced by their senders' ports pass through undelayed while
+        incast bursts serialise.  Returns the (possibly delayed) landing time
+        of each record **in input order**.  Zero-wire records pass through
+        untouched.  Called by the receiving rank only — commits happen in
+        receiver program order, which keeps the cursor deterministic.
+        """
+        landings = {record.key: record.arrival for record in records}
+        with self._lock:
+            port = self._ingest_ports.get(dest, 0.0)
+            for record in sorted(
+                (r for r in records if r.wire_s > 0), key=lambda r: r.key
+            ):
+                # landing = begin + wire with begin = max(post_time, port) —
+                # written so an undelayed landing equals the arrival
+                # *exactly*, and using the true wire-entry time rather than
+                # re-deriving it as arrival - wire (no float re-rounding).
+                landing = max(record.arrival, port + record.wire_s)
+                port = max(record.post_time, port) + self.wire_overlap * record.wire_s
+                self.ingests += 1
+                stalled = landing - record.arrival
+                if stalled > 0:
+                    self.ingest_stalls += 1
+                    self.ingest_stalled_s += stalled
+                landings[record.key] = landing
+                self._pending.get(dest, {}).pop(record.key, None)
+            self._ingest_ports[dest] = port
+            # Receiver-program-order housekeeping (the only deterministic
+            # place to prune): pending records that would have fully drained
+            # behind the committed cursor were consumed on another path (a
+            # system-path receive of a plan-posted message) and can no longer
+            # delay anything this port will serve.
+            pending = self._pending.get(dest)
+            if pending:
+                stale = [
+                    key
+                    for key, record in pending.items()
+                    if record.arrival + self.wire_overlap * record.wire_s <= port
+                ]
+                for key in stale:
+                    del pending[key]
+        return [landings[record.key] for record in records]
+
+    def ingest_preview(self, dest: int, arrival: float, wire_s: float) -> float:
+        """The landing time a message *would* get as the next commit.
+
+        A non-committing read of ``dest``'s ingestion cursor (receiver state
+        only, hence deterministic) — the arrival hint ``Test``/``Waitany``
+        probes see before the receive actually completes.
+        """
+        if wire_s <= 0:
+            return arrival
+        with self._lock:
+            port = self._ingest_ports.get(dest, 0.0)
+        return max(arrival, port + wire_s)
 
     # ------------------------------------------------------------- inspection
     def port_free_at(self, rank: int) -> float:
@@ -137,6 +314,48 @@ class NicTimeline:
         """Virtual time the ``(source, dest)`` link next frees up."""
         with self._lock:
             return self._links.get((source, dest), 0.0)
+
+    def ingest_free_at(self, rank: int) -> float:
+        """Virtual time rank ``rank``'s ingestion port next frees up.
+
+        Reflects *committed* ingestion only; :meth:`ingest_backlog` folds the
+        posted-but-not-yet-ingested traffic in as well.
+        """
+        with self._lock:
+            return self._ingest_ports.get(rank, 0.0)
+
+    def ingest_backlog(self, dest: int, now: float = 0.0) -> float:
+        """Seconds of queued ingestion converging on ``dest``, as of ``now``.
+
+        Replays the posted-but-not-yet-ingested arrivals (in key order) over
+        the committed ingestion cursor and reports how far past ``now`` the
+        port would stay busy.  Only records whose ``post_time`` has passed on
+        the caller's clock participate — a rank can only know about traffic
+        from its virtual past, which is also what keeps the signal
+        reproducible for queries with a happens-before edge to the posts (a
+        barrier away).  This is the **advisory** hot-peer signal the
+        contention-aware selector prices: exact under that edge, conservative
+        when records were capped.  The query is a pure read — pending records
+        are consumed at :meth:`ingest` time (receiver program order), never
+        by another rank's clock, so concurrent queries cannot disturb each
+        other.
+        """
+        with self._lock:
+            port = self._ingest_ports.get(dest, 0.0)
+            pending = self._pending.get(dest)
+            if pending:
+                for key in sorted(pending):
+                    record = pending[key]
+                    if record.post_time > now:
+                        continue
+                    begin = max(record.arrival - record.wire_s, port)
+                    port = begin + self.wire_overlap * record.wire_s
+            return max(0.0, port - now)
+
+    def pending_ingest(self, dest: int) -> int:
+        """Posted-but-not-yet-ingested messages for ``dest`` (tests, stats)."""
+        with self._lock:
+            return len(self._pending.get(dest, {}))
 
     def in_flight(self, at: float, *, source: int | None = None) -> int:
         """Ledger query: messages occupying the wire at virtual time ``at``."""
@@ -159,13 +378,21 @@ class NicTimeline:
         with self._lock:
             self._ports.clear()
             self._links.clear()
+            self._ingest_ports.clear()
+            self._seqs.clear()
+            self._pending.clear()
             self._ledger.clear()
             self.reservations = 0
             self.stalls = 0
             self.stalled_s = 0.0
+            self.ingests = 0
+            self.ingest_stalls = 0
+            self.ingest_stalled_s = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        """Summarise port/link/counter state for debugging."""
         return (
             f"<NicTimeline ports={len(self._ports)} links={len(self._links)} "
-            f"reservations={self.reservations} stalls={self.stalls}>"
+            f"reservations={self.reservations} stalls={self.stalls} "
+            f"ingests={self.ingests} ingest_stalls={self.ingest_stalls}>"
         )

@@ -34,6 +34,13 @@ class Envelope:
     available_at: float
     device: bool
     sequence: int = field(default=0)
+    #: Receive-side NIC identity (duplex accounting): the serial wire seconds
+    #: this message occupies, the virtual time it entered the wire, and its
+    #: per-source sequence number.  ``wire_s <= 0`` (system-path and serial
+    #: -engine messages) opts the envelope out of ingestion-port pricing.
+    wire_s: float = field(default=0.0)
+    post_time: float = field(default=0.0)
+    source_seq: int = field(default=-1)
 
     @property
     def nbytes(self) -> int:

@@ -31,6 +31,11 @@ class PackMethod(enum.Enum):
 #: classes themselves live in :mod:`repro.tempi.selection`.
 SELECTION_MODES = ("model", "contended", "fixed")
 
+#: NIC-accounting modes accepted by ``TempiConfig.nic``.  ``"duplex"`` prices
+#: both ends of the wire (injection *and* ingestion ports); ``"inject_only"``
+#: keeps the PR-3/PR-4 send-side-only accounting as an ablation.
+NIC_MODES = ("duplex", "inject_only")
+
 
 @dataclass(frozen=True)
 class TempiConfig:
@@ -65,6 +70,16 @@ class TempiConfig:
     #: cursor (no cross-plan contention) for ablations —
     #: ``bench_fig15_contention.py`` measures the difference.
     progress: str = "shared"
+    #: Which ends of the wire the shared NIC timeline prices.  ``"duplex"``
+    #: (the default) routes every plan-posted message through the sender's
+    #: injection port *and* the receiver's ingestion port, so an incast (many
+    #: senders converging on one rank) queues at the hot receiver and
+    #: ``Wait``/``Test``/``Waitany`` arrival hints reflect its backlog;
+    #: ``"inject_only"`` keeps the PR-3/PR-4 send-side-only accounting,
+    #: bit-identical, as an ablation — ``bench_incast.py`` measures the
+    #: difference.  Only meaningful under ``progress="shared"`` (the
+    #: per-plan ablation has no shared timeline to ingest against).
+    nic: str = "duplex"
     #: Coalesce consecutive sub-eager-threshold nonblocking sends to one peer
     #: into one pack launch burst and one posted wire message (shared-progress
     #: mode only; the batch flushes at the next progress point).
@@ -90,6 +105,10 @@ class TempiConfig:
         if self.selection not in SELECTION_MODES:
             raise ValueError(
                 f"unknown selection policy {self.selection!r}; expected one of {SELECTION_MODES}"
+            )
+        if self.nic not in NIC_MODES:
+            raise ValueError(
+                f"unknown nic mode {self.nic!r}; expected one of {NIC_MODES}"
             )
         if self.selection == "fixed" and self.method is PackMethod.AUTO:
             raise ValueError(

@@ -241,7 +241,18 @@ class PlanExecutor:
             offset += section.packed_bytes
         stage.stream = stream
 
-    def _post(self, peer: int, tag: int, payload_buffer, nbytes: int, available_at: float) -> None:
+    def _post(
+        self,
+        peer: int,
+        tag: int,
+        payload_buffer,
+        nbytes: int,
+        available_at: float,
+        *,
+        wire_s: float = 0.0,
+        post_time: float = 0.0,
+        source_seq: int = -1,
+    ) -> None:
         self.comm.router.post(
             Envelope(
                 source=self.comm.rank,
@@ -251,8 +262,32 @@ class PlanExecutor:
                 payload=np.ascontiguousarray(payload_buffer.data[:nbytes], dtype=np.uint8).copy(),
                 available_at=available_at,
                 device=payload_buffer.is_device,
+                wire_s=wire_s,
+                post_time=post_time,
+                source_seq=source_seq,
             )
         )
+
+    def _post_slot(self, peer: int, tag: int, payload_buffer, nbytes: int, slot) -> None:
+        """Post one reserved wire message, carrying its NIC identity.
+
+        Only slots reserved on the shared timeline (``seq >= 0``) stamp the
+        envelope for receive-side ingestion; per-plan and serial posts opt
+        out and keep the sender-computed arrival final.
+        """
+        if slot.seq >= 0:
+            self._post(
+                peer,
+                tag,
+                payload_buffer,
+                nbytes,
+                slot.arrival,
+                wire_s=slot.wire_s,
+                post_time=slot.start,
+                source_seq=slot.seq,
+            )
+        else:
+            self._post(peer, tag, payload_buffer, nbytes, slot.arrival)
 
     def _injection_overhead(self) -> float:
         return self.comm.network.message_cost(0, same_node=True, device_buffers=False).latency_s
@@ -282,10 +317,12 @@ class PlanExecutor:
             payload, ready = self._pack_stage(stage, plan.send_buffer, staging, stream)
             wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
             if self.overlap and self.engine is not None:
-                _, arrival = self.engine.reserve(post.peer, ready, wire, post.nbytes)
+                slot = self.engine.reserve_wire(post.peer, ready, wire, post.nbytes)
+                arrival = slot.arrival
+                self._post_slot(post.peer, plan.tag, payload, post.nbytes, slot)
             else:
                 arrival = ready + wire
-            self._post(post.peer, plan.tag, payload, post.nbytes, arrival)
+                self._post(post.peer, plan.tag, payload, post.nbytes, arrival)
         finally:
             staging.release()
             if stream is not None:
@@ -315,12 +352,12 @@ class PlanExecutor:
             for post in plan.post_stages:
                 wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
                 if window is not None:
-                    _, arrival = window.reserve(post.peer, ready, wire, post.nbytes)
+                    slot = window.reserve_wire(post.peer, ready, wire, post.nbytes)
+                    self._post_slot(post.peer, plan.tag, payload, post.nbytes, slot)
                 else:
                     # The serial ablation prices each transfer independently,
                     # exactly like serial sends (no NIC serialisation).
-                    arrival = ready + wire
-                self._post(post.peer, plan.tag, payload, post.nbytes, arrival)
+                    self._post(post.peer, plan.tag, payload, post.nbytes, ready + wire)
         finally:
             staging.release()
             if stream is not None:
@@ -342,7 +379,12 @@ class PlanExecutor:
             if plan.nonblocking and self.stats is not None:
                 self.stats.deferred_unpacks += 1
             envelope = comm.router.receive(comm.rank, stage.peer, plan.tag, comm.context)
-            comm.clock.advance_to(envelope.available_at)
+            landing = (
+                self.engine.ingest_one(envelope)
+                if self.engine is not None
+                else envelope.available_at
+            )
+            comm.clock.advance_to(landing)
             if envelope.nbytes > stage.nbytes:
                 raise MpiTruncationError(
                     f"message of {envelope.nbytes} bytes truncates a receive of "
@@ -362,7 +404,11 @@ class PlanExecutor:
 
         def arrival() -> Optional[float]:
             envelope = comm.router.probe(comm.rank, stage.peer, plan.tag, comm.context)
-            return None if envelope is None else envelope.available_at
+            if envelope is None:
+                return None
+            if self.engine is not None:
+                return self.engine.arrival_preview(envelope)
+            return envelope.available_at
 
         return Request("recv", complete=complete, ready=ready, arrival=arrival)
 
@@ -395,8 +441,8 @@ class PlanExecutor:
                         stream = post.pack.stream
                     payload, ready = pack_once(post.pack, stream)
                     wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
-                    _, arrival = window.reserve(post.peer, ready, wire, post.nbytes)
-                    self._post(post.peer, tag, payload, post.nbytes, arrival)
+                    slot = window.reserve_wire(post.peer, ready, wire, post.nbytes)
+                    self._post_slot(post.peer, tag, payload, post.nbytes, slot)
                 if self.stats is not None:
                     self.stats.stages_overlapped += len(plan.pack_stages)
             else:
@@ -419,16 +465,25 @@ class PlanExecutor:
             recv_streams: list = []
             latest = comm.clock.now
             try:
-                for stage in plan.unpack_stages:
-                    envelope = _receive_raw(comm, stage.peer, tag)
+                # Receive the whole set first: the receive side of one plan is
+                # one ingestion batch, served in the deterministic
+                # (post_time, source, seq) order whatever wall-clock order
+                # the peers posted in.
+                envelopes = [_receive_raw(comm, stage.peer, tag) for stage in plan.unpack_stages]
+                landings = (
+                    self.engine.ingest_batch(envelopes)
+                    if self.engine is not None
+                    else [envelope.available_at for envelope in envelopes]
+                )
+                for stage, envelope, landing in zip(plan.unpack_stages, envelopes, landings):
                     if envelope.nbytes != stage.nbytes:
                         raise PlanError(
                             f"rank {comm.rank} expected {stage.nbytes} packed bytes from "
                             f"{stage.peer}, got {envelope.nbytes}"
                         )
-                    latest = max(latest, envelope.available_at)
+                    latest = max(latest, landing)
                     if self.overlap:
-                        comm.clock.advance_to(envelope.available_at)
+                        comm.clock.advance_to(landing)
                         stream = self.cache.get_stream()
                         recv_streams.append(stream)
                         self._unpack_stage(
@@ -458,12 +513,19 @@ class PlanExecutor:
         def arrival() -> Optional[float]:
             # Completable only once every peer has arrived, so the hint is the
             # latest known arrival — unknown while any peer is missing.
+            # Duplex accounting previews each landing against the receiver's
+            # ingestion cursor, so the hint reflects this rank's backlog.
             latest = None
             for stage in plan.unpack_stages:
                 envelope = comm.router.probe(comm.rank, stage.peer, tag, comm.context)
                 if envelope is None:
                     return None
-                latest = envelope.available_at if latest is None else max(latest, envelope.available_at)
+                when = (
+                    self.engine.arrival_preview(envelope)
+                    if self.engine is not None
+                    else envelope.available_at
+                )
+                latest = when if latest is None else max(latest, when)
             return latest
 
         return Request("coll", complete=complete, ready=ready, arrival=arrival)

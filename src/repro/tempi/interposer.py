@@ -121,6 +121,9 @@ class InterposerStats:
     #: Messages whose injection the shared NIC timeline delayed because the
     #: port or link was still occupied by earlier (cross-plan) traffic.
     contention_stalls: int = 0
+    #: Messages whose landing this rank's ingestion port delayed because
+    #: earlier arrivals were still draining (duplex accounting only).
+    ingest_stalls: int = 0
     method_counts: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
@@ -136,6 +139,7 @@ class InterposerStats:
             f"plans={self.plans_built} overlapped={self.stages_overlapped} "
             f"deferred_unpacks={self.deferred_unpacks} "
             f"batched={self.batched_plans} stalls={self.contention_stalls} "
+            f"ingest_stalls={self.ingest_stalls} "
             f"methods=[{methods_repr}])"
         )
 
@@ -199,6 +203,7 @@ class TempiCommunicator:
             self.tempi.cache,
             self.tempi.stats,
             mode=config.progress,
+            nic_mode=config.nic,
             batching=config.batch_eager_sends and config.overlap,
             batch_max_messages=config.batch_max_messages,
         )
@@ -374,7 +379,9 @@ class TempiCommunicator:
         self._comm._check_peer(dest)
         self._charge_interposition_overhead()
         nbytes = handler.packer.packed_size(count)
-        method = self._selector(handler.packer, nbytes)
+        # The destination peer rides along so a duplex-aware selector can
+        # price the link to — and the ingestion backlog of — that rank.
+        method = self._selector(handler.packer, nbytes, peer=dest)
         self.tempi.stats.sends += 1
         self.tempi.stats.method_counts[method.value] = (
             self.tempi.stats.method_counts.get(method.value, 0) + 1

@@ -165,6 +165,7 @@ class PerformanceModel:
         messages,
         *,
         wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+        nic: str = "duplex",
     ) -> Tuple[float, float]:
         """Price a multi-peer exchange serially and as an overlapped pipeline.
 
@@ -183,9 +184,23 @@ class PerformanceModel:
           its pack completes (serialising at ``wire_overlap`` occupancy), and
           each peer's unpack starts at its arrival — the makespan of the
           pipeline's slowest chain.
+
+        ``nic`` selects the receive-side mirror the overlapped makespan
+        prices.  ``"duplex"`` (the default, matching the runtime) treats each
+        incoming message as sent by an *independent* peer — arriving at its
+        own ``pack + wire`` with no shared injection port behind it — and
+        serialises the landings on this rank's ingestion port at
+        ``wire_overlap`` occupancy (the :class:`~repro.machine.nic.NicTimeline`
+        mirror rule), so heterogeneous arrivals that cluster get queued.
+        ``"inject_only"`` keeps the PR-4 symmetric mirror (each incoming
+        unpack starts at the matching *outgoing* arrival).  For a uniform
+        message list the two coincide exactly — a balanced exchange has no
+        receive-side skew to price.
         """
         if not 0 < wire_overlap <= 1:
             raise ValueError("wire_overlap must be in (0, 1]")
+        if nic not in ("duplex", "inject_only"):
+            raise ValueError(f"nic must be 'duplex' or 'inject_only', got {nic!r}")
         parts = [self._message_parts(int(n), int(b)) for n, b in messages if int(n) > 0]
         if not parts:
             return 0.0, 0.0
@@ -200,6 +215,19 @@ class PerformanceModel:
             start = max(pack, nic_free)
             nic_free = start + wire_overlap * wire
             makespan = max(makespan, start + wire + unpack)
+        if nic == "duplex":
+            # Independent-sender arrivals, serialised on this rank's
+            # ingestion port in arrival order (the deterministic key order of
+            # a one-message-per-source batch).  The result is combined with
+            # the send-side (outgoing-mirror) bound above by max: pricing the
+            # second end of the wire can only ever add, never undercut the
+            # inject-only books.
+            ingest_free = 0.0
+            for pack, wire, unpack in sorted(parts, key=lambda p: (p[0] + p[1], p[1])):
+                arrival = pack + wire
+                landing = max(arrival, ingest_free + wire)
+                ingest_free = max(pack, ingest_free) + wire_overlap * wire
+                makespan = max(makespan, landing + unpack)
         return serial, makespan
 
     # ------------------------------------------------------------- inspection

@@ -415,7 +415,10 @@ def compile_exchange(
         if peer == rank:
             continue
         nbytes = sum(section.packed_bytes for section in group)
-        method = select(group[0].packer, nbytes)
+        # Send-side selections carry the destination peer so NIC-aware
+        # selectors can price its link and ingestion backlog; receive-side
+        # selections (below) have no single remote port to price.
+        method = select(group[0].packer, nbytes, peer=peer)
         stage = PackStage(
             peer=peer,
             sections=tuple(group),

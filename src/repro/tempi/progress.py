@@ -12,13 +12,32 @@ plans instead:
   reproduces the PR-2 schedule (a fresh cursor per plan, no cross-plan
   contention) for ablations — ``bench_fig15_contention.py`` measures the
   difference.
+* **Duplex (receive-side) accounting** — with ``TempiConfig(nic="duplex")``
+  (the default, shared mode only) every plan-posted message additionally
+  carries its NIC identity ``(post_time, source, seq, wire_s)`` on the
+  envelope, and the *receiving* rank commits it to its own ingestion port
+  when the receive completes (:meth:`ingest_one` / :meth:`ingest_batch`,
+  batches served in the deterministic ``(post_time, source, seq)`` order)::
+
+      begin    = max(arrival - wire, ingest_free)
+      landing  = begin + wire                      # what Wait advances to
+      ingest_free = begin + overlap * wire
+
+  so an incast queues at the hot receiver while symmetric traffic (arrivals
+  already spaced by the senders' injection ports) passes undelayed, and the
+  ``Wait``/``Test``/``Waitany`` arrival hints (:meth:`arrival_preview`)
+  reflect the receiver's backlog.  ``nic="inject_only"`` skips all of this —
+  the envelope's sender-computed arrival is final, bit-identical to the
+  PR-3/PR-4 accounting.
 * **Small-plan batching** — consecutive sub-eager-threshold nonblocking send
   plans to the same peer are coalesced: each plan's pack is issued
   immediately (exactly as an unbatched send would be), but the bytes ride
   **one** posted wire message reserved when the slowest pack completes —
   one latency floor and one NIC slot for the whole burst instead of one per
   plan.  Delivery stays byte-for-byte identical: every constituent keeps its
-  own envelope, tag and payload; only the wire timing is shared.
+  own envelope, tag and payload; only the wire timing is shared (the burst's
+  ingestion occupancy is split across constituents pro rata by size, so the
+  receive side prices the batch once too).
 * **Test-driven progress** — ``Request.Test``/``Testall``/``Wait`` on any
   engine-backed request call :meth:`progress` first, which flushes pending
   batches, so testing a request genuinely advances message arrival instead
@@ -34,17 +53,33 @@ forces the post.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
-from repro.machine.nic import NicTimeline
+from repro.machine.nic import IngestRecord, NicTimeline
+from repro.mpi.p2p import Envelope
 from repro.mpi.request import Request
 from repro.mpi.status import Status
-from repro.tempi.config import PackMethod
+from repro.tempi.config import NIC_MODES, PackMethod
 from repro.tempi.plan import MessagePlan
 
 #: Progress-engine modes accepted by ``TempiConfig.progress``.
 PROGRESS_MODES = ("shared", "per_plan")
+
+
+@dataclass(frozen=True)
+class WireSlot:
+    """One reserved wire slot, with the identity its envelope must carry.
+
+    ``seq >= 0`` marks a slot reserved on the shared timeline (and therefore
+    subject to receive-side ingestion under duplex accounting); per-plan and
+    engine-less reservations carry ``seq == -1`` and opt out.
+    """
+
+    start: float
+    arrival: float
+    wire_s: float
+    seq: int = -1
 
 
 class ProgressError(RuntimeError):
@@ -67,11 +102,16 @@ class PlanWindow:
 
     def reserve(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> tuple[float, float]:
         """Place one message; returns ``(start, arrival)`` virtual times."""
+        slot = self.reserve_wire(peer, ready, wire_s, nbytes)
+        return slot.start, slot.arrival
+
+    def reserve_wire(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> WireSlot:
+        """Place one message; returns the full :class:`WireSlot`."""
         if self._engine is not None and self._engine.shared:
-            return self._engine.reserve(peer, ready, wire_s, nbytes)
+            return self._engine.reserve_wire(peer, ready, wire_s, nbytes)
         start = max(ready, self._nic_free)
         self._nic_free = start + self._wire_overlap * wire_s
-        return start, start + wire_s
+        return WireSlot(start=start, arrival=start + wire_s, wire_s=wire_s, seq=-1)
 
 
 @dataclass
@@ -105,10 +145,12 @@ class _Batch:
 
     @property
     def nbytes(self) -> int:
+        """Combined payload bytes of the batch."""
         return sum(entry.nbytes for entry in self.entries)
 
     @property
     def ready(self) -> float:
+        """Wire-readiness: when the slowest constituent pack completes."""
         return max(entry.ready for entry in self.entries)
 
 
@@ -122,6 +164,7 @@ class ProgressEngine:
         stats=None,
         *,
         mode: str = "shared",
+        nic_mode: str = "duplex",
         batching: bool = True,
         batch_max_messages: int = 8,
         wire_overlap: float = DEFAULT_WIRE_OVERLAP,
@@ -131,12 +174,17 @@ class ProgressEngine:
             raise ProgressError(
                 f"unknown progress mode {mode!r}; expected one of {PROGRESS_MODES}"
             )
+        if nic_mode not in NIC_MODES:
+            raise ProgressError(
+                f"unknown nic mode {nic_mode!r}; expected one of {NIC_MODES}"
+            )
         if batch_max_messages < 1:
             raise ProgressError("batch_max_messages must be at least 1")
         self.comm = comm
         self.cache = cache
         self.stats = stats
         self.mode = mode
+        self.nic_mode = nic_mode
         self.wire_overlap = wire_overlap
         if nic is None:
             nic = getattr(getattr(comm, "world", None), "nic", None)
@@ -154,6 +202,15 @@ class ProgressEngine:
     def shared(self) -> bool:
         """True when reservations go through the shared NIC timeline."""
         return self.mode == "shared"
+
+    @property
+    def duplex(self) -> bool:
+        """True when receive-side (ingestion-port) accounting is active.
+
+        Requires the shared timeline — the per-plan ablation has nothing to
+        ingest against, so ``nic="duplex"`` degrades to inject-only there.
+        """
+        return self.shared and self.nic_mode == "duplex"
 
     def bind(self, executor) -> None:
         """Attach the executor whose stages the engine issues at flush time."""
@@ -173,12 +230,101 @@ class ProgressEngine:
         in ``shared`` mode it queues on the rank's injection port and the
         per-peer link, and stalls are counted on the interposer stats.
         """
+        slot = self.reserve_wire(peer, ready, wire_s, nbytes)
+        return slot.start, slot.arrival
+
+    def reserve_wire(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> WireSlot:
+        """Reserve one message's wire slot; returns the full :class:`WireSlot`.
+
+        The slot carries the NIC identity (``post_time``/``seq``) the
+        executor stamps on the envelope, which is what lets the *receiving*
+        rank commit the message to its ingestion port under duplex
+        accounting.
+        """
         if not self.shared:
-            return ready, ready + wire_s
-        reservation = self.nic.reserve(self.comm.rank, peer, ready, wire_s, nbytes)
+            return WireSlot(start=ready, arrival=ready + wire_s, wire_s=wire_s, seq=-1)
+        # Inject-only books never feed the destination's advisory pending
+        # ledger: their messages are never ingested, so they must not look
+        # like receive-side backlog to a duplex reader sharing the world.
+        reservation = self.nic.reserve(
+            self.comm.rank, peer, ready, wire_s, nbytes, ingest=self.duplex
+        )
         if reservation.stalled and self.stats is not None:
             self.stats.contention_stalls += 1
-        return reservation.start, reservation.arrival
+        return WireSlot(
+            start=reservation.start,
+            arrival=reservation.arrival,
+            wire_s=wire_s,
+            seq=reservation.seq,
+        )
+
+    # ------------------------------------------------------------- ingestion
+    @staticmethod
+    def _ingest_record(envelope: Envelope) -> IngestRecord:
+        """The receive-side NIC identity an envelope carries."""
+        return IngestRecord(
+            post_time=envelope.post_time,
+            source=envelope.source,
+            seq=envelope.source_seq,
+            wire_s=envelope.wire_s,
+            arrival=envelope.available_at,
+        )
+
+    def _ingestable(self, envelope: Envelope) -> bool:
+        """True when the envelope participates in ingestion pricing."""
+        return self.duplex and envelope.wire_s > 0 and envelope.source_seq >= 0
+
+    def ingest_one(self, envelope: Envelope) -> float:
+        """Commit one received message to this rank's ingestion port.
+
+        Returns the (possibly delayed) landing time ``Wait`` should advance
+        to.  Under ``nic="inject_only"`` — or for envelopes that never went
+        through the shared timeline (system path, serial engine) — this is
+        exactly the sender-computed ``available_at``, bit-for-bit.
+        """
+        if not self._ingestable(envelope):
+            return envelope.available_at
+        landing = self.nic.ingest(self.comm.rank, [self._ingest_record(envelope)])[0]
+        if landing > envelope.available_at and self.stats is not None:
+            self.stats.ingest_stalls += 1
+        return landing
+
+    def ingest_batch(self, envelopes: Sequence[Envelope]) -> list[float]:
+        """Commit one plan's receive set to the ingestion port, as a batch.
+
+        The batch is served in the deterministic ``(post_time, source, seq)``
+        order whatever wall-clock order the posts happened in — this is the
+        cross-rank ordering that makes duplex arrivals reproducible
+        regardless of executor interleaving.  Returns each envelope's landing
+        time in input order.
+        """
+        eligible = [e for e in envelopes if self._ingestable(e)]
+        if not eligible:
+            return [envelope.available_at for envelope in envelopes]
+        landings = dict(
+            zip(
+                (id(e) for e in eligible),
+                self.nic.ingest(self.comm.rank, [self._ingest_record(e) for e in eligible]),
+            )
+        )
+        if self.stats is not None:
+            for envelope in eligible:
+                if landings[id(envelope)] > envelope.available_at:
+                    self.stats.ingest_stalls += 1
+        return [landings.get(id(e), e.available_at) for e in envelopes]
+
+    def arrival_preview(self, envelope: Envelope) -> float:
+        """The landing a message would get as the next ingestion commit.
+
+        Non-committing and receiver-state-only (hence deterministic): this is
+        the arrival hint ``Test``/``Waitany`` see before the receive actually
+        completes.  Identity under ``nic="inject_only"``.
+        """
+        if not self._ingestable(envelope):
+            return envelope.available_at
+        return self.nic.ingest_preview(
+            self.comm.rank, envelope.available_at, envelope.wire_s
+        )
 
     # -------------------------------------------------------------- batching
     def offer_send(self, plan: MessagePlan) -> Optional[Request]:
@@ -238,15 +384,18 @@ class ProgressEngine:
             self.stats.stages_overlapped += 1
 
         def complete() -> Status:
+            """Flush (posting the batch) and advance to buffer-reuse time."""
             self.progress()  # the send's Wait is a progress point: post first
             comm.clock.advance_to(entry.completion)
             return Status()
 
         def ready_probe() -> bool:
+            """Progress, then check buffer-reuse completion."""
             self.progress()
             return comm.clock.now >= entry.completion
 
         def arrival() -> Optional[float]:
+            """Buffer-reuse time (known at enqueue for a batched send)."""
             return entry.completion
 
         return Request("send", complete=complete, ready=ready_probe, arrival=arrival)
@@ -276,6 +425,7 @@ class ProgressEngine:
             self._flush_batch(key)
 
     def _flush_batch(self, key: tuple[int, bool]) -> None:
+        """Post one pending batch as a single coalesced wire message."""
         batch = self._batches.pop(key, None)
         if batch is None or not batch.entries:
             return
@@ -288,12 +438,34 @@ class ProgressEngine:
             # NIC when the slowest constituent pack is ready.  Each
             # constituent keeps its own envelope — posted in enqueue order,
             # sharing the batch arrival — so delivery is byte-for-byte
-            # identical to the unbatched schedule.
+            # identical to the unbatched schedule.  The batch's ingestion
+            # occupancy is split across constituents pro rata by size (their
+            # shares sum to the one wire message's occupancy), each envelope
+            # carrying its own per-source seq so receive-side ordering stays
+            # well defined.
             wire = self.comm._message_time(batch.nbytes, batch.peer, batch.device)
-            _, arrival = self.reserve(batch.peer, batch.ready, wire, batch.nbytes)
-            for entry in batch.entries:
+            slot = self.reserve_wire(batch.peer, batch.ready, wire, batch.nbytes)
+            for index, entry in enumerate(batch.entries):
                 post = entry.plan.post_stages[0]
-                executor._post(post.peer, entry.plan.tag, entry.payload, post.nbytes, arrival)
+                if slot.seq >= 0:
+                    share = wire * entry.nbytes / batch.nbytes if batch.nbytes else 0.0
+                    # The first constituent inherits the reservation's seq, so
+                    # ingesting it consumes the batch's pending-ledger record;
+                    # later constituents draw fresh (larger) seqs and keep the
+                    # deterministic enqueue order.
+                    seq = slot.seq if index == 0 else self.nic.next_seq(self.comm.rank)
+                else:
+                    share, seq = 0.0, -1
+                executor._post(
+                    post.peer,
+                    entry.plan.tag,
+                    entry.payload,
+                    post.nbytes,
+                    slot.arrival,
+                    wire_s=share,
+                    post_time=slot.start,
+                    source_seq=seq,
+                )
         finally:
             batch.staging.release()
         if self.stats is not None and len(batch.entries) > 1:
@@ -305,9 +477,11 @@ class ProgressEngine:
 
         Runs :meth:`progress` first, so a ``Test`` poll advances deferred
         wire state before probing — the progress-thread behaviour the
-        roadmap asked for, without a thread.
+        roadmap asked for, without a thread.  Under duplex accounting the
+        probe compares against the ingestion-adjusted landing, so ``Test``
+        reflects the receiver's own backlog, not just the sender's schedule.
         """
         self.progress()
         comm = self.comm
         envelope = comm.router.probe(comm.rank, peer, tag, comm.context)
-        return envelope is not None and envelope.available_at <= comm.clock.now
+        return envelope is not None and self.arrival_preview(envelope) <= comm.clock.now

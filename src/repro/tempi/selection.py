@@ -16,19 +16,34 @@ knows the rank's live injection-port occupancy.  This module owns all of it:
   ``(nbytes, block_length)`` query through the resource cache and charges the
   measured query overhead on the rank's clock, exactly as the paper charges
   it (kept as the default and for ablations);
-* :class:`ContendedSelector` — prices each candidate against the rank's
-  injection-port **backlog**: a queued port hides pack time (the pack runs
-  while earlier messages drain), so under load the decision tilts toward the
+* :class:`ContendedSelector` — prices each candidate against the live NIC
+  state this rank can see, through the one pricing equation
+  :func:`contended_estimate` implements::
+
+      T_method = max(T_pack, B_inject, B_link, B_ingest) + T_wire + T_unpack
+
+  where ``B_inject`` is this rank's injection-port backlog, ``B_link`` the
+  remaining occupancy of this rank's link to the destination peer, and
+  ``B_ingest`` the destination's ingestion-port backlog (the hot-peer
+  signal; read from the posted-but-not-yet-ingested ledger, and folded in
+  only under ``TempiConfig(nic="duplex")`` — the ``"inject_only"`` ablation
+  prices ``max(pack, B_inject) + wire + unpack``, bit-identical to PR 4).
+  A queued port — at either end — hides pack time (the pack runs while
+  earlier messages drain), so under load the decision tilts toward the
   method with the cheaper wire-plus-unpack tail and the one-shot/device
-  crossover of Fig. 9 shifts — ``bench_fig9_selection.py`` measures the
-  shift, :func:`repro.apps.exchange_model.model_selected_exchange` prices it
+  crossover of Fig. 9 shifts; a single hot *receiver* does the same to
+  every sender targeting it (``bench_incast.py``).
+  ``bench_fig9_selection.py`` measures the injection-side shift,
+  :func:`repro.apps.exchange_model.model_selected_exchange` prices it
   analytically through the *same* :func:`contended_estimate`;
 * :class:`CalibrationRegistry` — measurement files keyed per
   :class:`~repro.machine.spec.MachineSpec`, so several machines' models
   coexist in one process (machine sweeps measure each system once, in the
   spirit of the paper's run-once measurement binary).
 
-Every selector accepts ``(packer, nbytes)`` and returns a concrete
+Every selector accepts ``(packer, nbytes, peer=...)`` — ``peer`` being the
+destination rank of a send-side decision, or ``None`` when the message has
+no single destination (receives, fan-outs) — and returns a concrete
 :class:`~repro.tempi.config.PackMethod`.  Zero-byte sections short-circuit to
 :data:`NOOP_METHOD` without touching model or clock — an empty section moves
 nothing, so any staging kind is trivially correct and pricing primitives
@@ -66,14 +81,19 @@ class SelectionError(ValueError):
 
 
 class MethodSelector(Protocol):
-    """The per-message method policy: ``(packer, nbytes) -> method``.
+    """The per-message method policy: ``(packer, nbytes, peer=...) -> method``.
 
     The plan compilers call the selector once per wire message at compile
     time, so model-query overhead stays charged where the paper charges it
-    (inside the interposed call, before any bytes move).
+    (inside the interposed call, before any bytes move).  ``peer`` names the
+    destination rank of a send-side decision so NIC-aware selectors can price
+    the link to — and the ingestion backlog of — that specific peer; pass
+    ``None`` (the default) when the message has no single destination.
     """
 
-    def __call__(self, packer, nbytes: int) -> PackMethod:  # pragma: no cover - protocol
+    def __call__(
+        self, packer, nbytes: int, peer: Optional[int] = None
+    ) -> PackMethod:  # pragma: no cover - protocol
         ...
 
 
@@ -82,43 +102,100 @@ class MethodSelector(Protocol):
 # exchange model — one function, so the three can never drift)
 # --------------------------------------------------------------------------- #
 
+#: The pricing terms a contended candidate can be bound by, in tie-break
+#: priority order: its own pack kernel, this rank's injection-port backlog,
+#: the remaining occupancy of the link to the destination, or the
+#: destination's ingestion-port backlog (duplex accounting only).
+BACKLOG_PORTS = ("pack", "inject", "link", "ingest")
+
+
 @dataclass(frozen=True)
 class ContendedEstimate:
-    """End-to-end candidate latencies under an injection-port backlog.
+    """End-to-end candidate latencies under live NIC backlog.
 
-    A message cannot enter the wire before the port drains (``backlog_s``
-    seconds from now) *or* before its pack completes — whichever is later.
-    Queued time therefore hides pack time, and each candidate's effective
-    latency is ``max(pack, backlog) + wire + unpack``.  At zero backlog this
-    is exactly the contention-free Eqs. 1-3 total.
+    A message cannot enter the wire before its pack completes, nor before
+    this rank's injection port and its link to the destination drain; and its
+    landing cannot outrun the destination's ingestion-port backlog (whose
+    mirror-rule wait algebraically folds into the same ``max`` — see
+    :mod:`repro.machine.nic`).  Queued time therefore hides pack time, and
+    each candidate's effective latency is::
+
+        max(pack, B_inject, B_link, B_ingest) + wire + unpack
+
+    At zero backlogs this is exactly the contention-free Eqs. 1-3 total;
+    with ``link_backlog_s == ingest_backlog_s == 0`` it is exactly the PR-4
+    injection-only pricing, bit-for-bit.  ``oneshot_bound``/``device_bound``
+    name the term that bound each candidate (ties break in
+    :data:`BACKLOG_PORTS` order), which is what ``repro select-table --nic``
+    prints per cell.
     """
 
     oneshot: float
     device: float
     backlog_s: float
+    link_backlog_s: float = 0.0
+    ingest_backlog_s: float = 0.0
+    oneshot_bound: str = "pack"
+    device_bound: str = "pack"
 
     def best(self) -> PackMethod:
         """Ties break toward one-shot, matching :class:`MethodEstimate`."""
         return PackMethod.ONESHOT if self.oneshot <= self.device else PackMethod.DEVICE
 
+    def bound(self) -> str:
+        """The term (:data:`BACKLOG_PORTS`) that bound the selected method."""
+        return self.oneshot_bound if self.best() is PackMethod.ONESHOT else self.device_bound
+
 
 def contended_estimate(
-    model: PerformanceModel, nbytes: int, block_length: int, backlog_s: float
+    model: PerformanceModel,
+    nbytes: int,
+    block_length: int,
+    backlog_s: float,
+    *,
+    link_backlog_s: float = 0.0,
+    ingest_backlog_s: float = 0.0,
 ) -> ContendedEstimate:
-    """Price the one-shot and device candidates under ``backlog_s`` of port queue."""
-    if backlog_s < 0:
-        raise SelectionError(f"backlog must be non-negative, got {backlog_s}")
-    oneshot = (
-        max(model.pack_time("oneshot", "pack", nbytes, block_length), backlog_s)
-        + model.transfer_time("cpu_cpu", nbytes)
-        + model.pack_time("oneshot", "unpack", nbytes, block_length)
+    """Price the one-shot and device candidates under live NIC backlog.
+
+    ``backlog_s`` is the sender's injection-port queue (the PR-4 term);
+    ``link_backlog_s`` the remaining occupancy of the sender's link to the
+    destination; ``ingest_backlog_s`` the destination's ingestion-port queue.
+    All three default to zero, in which case the function is exactly the
+    PR-4 ``max(pack, backlog) + wire + unpack`` pricing.
+    """
+    for name, value in (
+        ("backlog", backlog_s),
+        ("link backlog", link_backlog_s),
+        ("ingest backlog", ingest_backlog_s),
+    ):
+        if value < 0:
+            raise SelectionError(f"{name} must be non-negative, got {value}")
+
+    def candidate(strategy: str, wire_kind: str) -> tuple[float, str]:
+        """One strategy's effective latency and its binding term."""
+        pack = model.pack_time(strategy, "pack", nbytes, block_length)
+        terms = (pack, backlog_s, link_backlog_s, ingest_backlog_s)
+        entry = max(terms)
+        bound = BACKLOG_PORTS[terms.index(entry)]
+        total = (
+            entry
+            + model.transfer_time(wire_kind, nbytes)
+            + model.pack_time(strategy, "unpack", nbytes, block_length)
+        )
+        return total, bound
+
+    oneshot, oneshot_bound = candidate("oneshot", "cpu_cpu")
+    device, device_bound = candidate("device", "gpu_gpu")
+    return ContendedEstimate(
+        oneshot=oneshot,
+        device=device,
+        backlog_s=backlog_s,
+        link_backlog_s=link_backlog_s,
+        ingest_backlog_s=ingest_backlog_s,
+        oneshot_bound=oneshot_bound,
+        device_bound=device_bound,
     )
-    device = (
-        max(model.pack_time("device", "pack", nbytes, block_length), backlog_s)
-        + model.transfer_time("gpu_gpu", nbytes)
-        + model.pack_time("device", "unpack", nbytes, block_length)
-    )
-    return ContendedEstimate(oneshot=oneshot, device=device, backlog_s=backlog_s)
 
 
 # --------------------------------------------------------------------------- #
@@ -133,7 +210,8 @@ class FixedSelector:
             raise SelectionError("a fixed selector needs a concrete method, not AUTO")
         self.method = method
 
-    def __call__(self, packer, nbytes: int) -> PackMethod:
+    def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
+        """Return the forced method (zero-byte sections are no-ops)."""
         if nbytes <= 0:
             return NOOP_METHOD
         return self.method
@@ -169,6 +247,7 @@ class ModelSelector:
 
     @property
     def model(self) -> PerformanceModel:
+        """The performance model (lazily constructed on first use)."""
         if not isinstance(self._model, PerformanceModel):
             self._model = self._model()
         return self._model
@@ -183,15 +262,18 @@ class ModelSelector:
         return value, self.cache.stats.query_hits > hits_before
 
     def _charge(self, cached: bool) -> None:
+        """Advance the rank's clock by the (cached or cold) query cost."""
         if self.clock is not None:
             cfg = self.config
             self.clock.advance(cfg.model_cached_query_s if cached else cfg.model_query_s)
 
     # -------------------------------------------------------------- selection
     def _decide(self, nbytes: int, block_length: int) -> PackMethod:
+        """The contention-free Eqs. 1-3 comparison."""
         return self.model.choose_method(nbytes, block_length)
 
-    def __call__(self, packer, nbytes: int) -> PackMethod:
+    def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
+        """Select the contention-free best method (``peer`` is ignored)."""
         if nbytes <= 0:
             return NOOP_METHOD
         block_length = packer.block.block_length
@@ -207,20 +289,30 @@ class ModelSelector:
 
 
 class ContendedSelector(ModelSelector):
-    """NIC-aware selection: folds live injection-port backlog into Eqs. 1-3.
+    """NIC-aware selection: folds live port and link backlog into Eqs. 1-3.
 
-    The backlog is read off the shared :class:`~repro.machine.nic.NicTimeline`
-    at selection time (``port_free_at(rank) - now``, clamped at zero), so the
-    decision depends on how much earlier cross-plan traffic is still queued on
-    this rank's port.  At zero backlog the decision is *identical* to
-    :class:`ModelSelector`'s (the memoised contention-free path — the
-    equivalence the property suite pins down); under load the shared
-    :func:`contended_estimate` pricing takes over.  The backlog is quantised
-    to :data:`BACKLOG_RESOLUTION_S` *before* pricing, so the memo key and
-    the decision always agree, repeated selections at a stable queue depth
-    genuinely hit the cache (and pay the cached-query charge), and the
-    memo cannot grow one entry per float jitter over a long run — far below
-    any flip threshold, the resolution never changes a decision.
+    Backlogs are read off the shared :class:`~repro.machine.nic.NicTimeline`
+    at selection time, each clamped at zero against this rank's clock: the
+    rank's own injection-port queue (``port_free_at(rank) - now``, the PR-4
+    term, always); and — under ``TempiConfig(nic="duplex")``, when the
+    destination ``peer`` is known — the remaining occupancy of this rank's
+    link to that peer (``link_free_at(rank, peer) - now``) and the peer's
+    ingestion-port backlog (:meth:`~repro.machine.nic.NicTimeline.ingest_backlog`,
+    the advisory incast signal), so selection reacts to a single hot peer.
+    At zero backlog the decision is *identical* to :class:`ModelSelector`'s
+    (the memoised contention-free path — the equivalence the property suite
+    pins down); under load the shared :func:`contended_estimate` pricing
+    takes over.  Backlogs are quantised to :data:`BACKLOG_RESOLUTION_S`
+    *before* pricing, so the memo key and the decision always agree,
+    repeated selections at a stable queue depth genuinely hit the cache (and
+    pay the cached-query charge), and the memo cannot grow one entry per
+    float jitter over a long run — far below any flip threshold, the
+    resolution never changes a decision.
+
+    Determinism note: the link term reads this rank's own send state and the
+    ingestion term reads posted traffic; both are exact for traffic whose
+    posts happened-before the selection (e.g. across a barrier), which is
+    how ``bench_incast.py`` drives them.
     """
 
     def __init__(
@@ -239,27 +331,67 @@ class ContendedSelector(ModelSelector):
         self.nic = nic
         self.rank = rank
 
+    @staticmethod
+    def _quantise(raw: float) -> float:
+        """Round a backlog to the memoisation resolution."""
+        return round(raw / BACKLOG_RESOLUTION_S) * BACKLOG_RESOLUTION_S
+
+    @property
+    def _now(self) -> float:
+        """This rank's virtual time (0.0 when driven without a clock)."""
+        return self.clock.now if self.clock is not None else 0.0
+
+    @property
+    def duplex(self) -> bool:
+        """True when link and ingestion backlog are folded into pricing."""
+        return self.config.nic == "duplex"
+
     def backlog(self) -> float:
         """Seconds of queued injection on this rank's port, as of its clock.
 
         Quantised to :data:`BACKLOG_RESOLUTION_S` so stable queue depths
         memoise (method flip thresholds sit orders of magnitude higher).
         """
-        now = self.clock.now if self.clock is not None else 0.0
-        raw = max(0.0, self.nic.port_free_at(self.rank) - now)
-        return round(raw / BACKLOG_RESOLUTION_S) * BACKLOG_RESOLUTION_S
+        return self._quantise(max(0.0, self.nic.port_free_at(self.rank) - self._now))
 
-    def __call__(self, packer, nbytes: int) -> PackMethod:
+    def link_backlog(self, peer: Optional[int]) -> float:
+        """Remaining occupancy of this rank's link to ``peer`` (quantised)."""
+        if peer is None or not self.duplex:
+            return 0.0
+        return self._quantise(max(0.0, self.nic.link_free_at(self.rank, peer) - self._now))
+
+    def ingest_backlog(self, peer: Optional[int]) -> float:
+        """``peer``'s ingestion-port backlog — the hot-peer term (quantised)."""
+        if peer is None or not self.duplex:
+            return 0.0
+        return self._quantise(self.nic.ingest_backlog(peer, self._now))
+
+    def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
+        """Select under live NIC backlog (identical to the model path at idle)."""
         if nbytes <= 0:
             return NOOP_METHOD
         backlog = self.backlog()
-        if backlog <= 0.0:
+        link = self.link_backlog(peer)
+        ingest = self.ingest_backlog(peer)
+        if backlog <= 0.0 and link <= 0.0 and ingest <= 0.0:
             return super().__call__(packer, nbytes)
         block_length = packer.block.block_length
         method, cached = self._memoize(
-            ("method-contended", int(nbytes), int(block_length), float(backlog)),
+            (
+                "method-contended",
+                int(nbytes),
+                int(block_length),
+                float(backlog),
+                float(link),
+                float(ingest),
+            ),
             lambda: contended_estimate(
-                self.model, int(nbytes), int(block_length), backlog
+                self.model,
+                int(nbytes),
+                int(block_length),
+                backlog,
+                link_backlog_s=link,
+                ingest_backlog_s=ingest,
             ).best(),
         )
         self._charge(cached)
@@ -337,6 +469,7 @@ class CalibrationRegistry:
             return model
 
     def _load_or_measure(self, machine: MachineSpec) -> SystemMeasurement:
+        """Load the machine's measurement file, else run the sweep."""
         if self.directory is not None:
             path = self.measurement_path(self.directory, machine.name)
             if path.exists():
@@ -368,6 +501,7 @@ class CalibrationRegistry:
 
     @staticmethod
     def _check(measurement: SystemMeasurement, machine_name: str) -> SystemMeasurement:
+        """Reject a measurement recorded for a different machine."""
         if measurement.machine_name not in ("unknown", machine_name):
             raise SelectionError(
                 f"measurement file is for machine {measurement.machine_name!r}, "

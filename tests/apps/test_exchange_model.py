@@ -229,6 +229,79 @@ class TestAnalyticMatchesSimulation:
         assert simulated["overlap"] < simulated["serial"]
 
 
+class TestDuplexExchangeModel:
+    """model_duplex_exchange / incast_efficiency: the receive-side skew."""
+
+    NBYTES = 1 << 20
+
+    def test_single_sender_is_never_delayed(self):
+        from repro.apps.exchange_model import model_duplex_exchange
+
+        duplex = model_duplex_exchange(1, self.NBYTES)
+        inject = model_duplex_exchange(1, self.NBYTES, nic="inject_only")
+        assert duplex == inject
+        assert duplex.ingest_stalled_s == 0.0
+
+    def test_inject_only_completion_is_flat_in_senders(self):
+        from repro.apps.exchange_model import model_duplex_exchange
+
+        completions = [
+            model_duplex_exchange(n, self.NBYTES, nic="inject_only").completion_s
+            for n in (1, 2, 4, 8)
+        ]
+        assert len(set(completions)) == 1  # idle ports: all arrivals coincide
+        assert all(
+            model_duplex_exchange(n, self.NBYTES, nic="inject_only").ingest_stalled_s == 0.0
+            for n in (2, 8)
+        )
+
+    def test_duplex_completion_grows_by_the_port_quantum(self):
+        from repro.apps.exchange_model import model_duplex_exchange
+        from repro.machine.network import DEFAULT_WIRE_OVERLAP, NetworkModel
+        from repro.machine.spec import SUMMIT
+
+        wire = NetworkModel(SUMMIT).message_time(
+            self.NBYTES, same_node=False, device_buffers=True
+        )
+        base = model_duplex_exchange(1, self.NBYTES).completion_s
+        for senders in (2, 4, 8):
+            breakdown = model_duplex_exchange(senders, self.NBYTES)
+            assert breakdown.completion_s == pytest.approx(
+                base + (senders - 1) * DEFAULT_WIRE_OVERLAP * wire
+            )
+            assert breakdown.first_landing_s == pytest.approx(base)
+
+    def test_efficiency_curve_degrades_monotonically(self):
+        from repro.apps.exchange_model import incast_efficiency
+
+        values = [incast_efficiency(n, self.NBYTES) for n in (1, 2, 4, 8, 16)]
+        assert values[0] == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        from repro.apps.exchange_model import model_duplex_exchange
+
+        with pytest.raises(ValueError):
+            model_duplex_exchange(0, self.NBYTES)
+        with pytest.raises(ValueError):
+            model_duplex_exchange(2, 0)
+        with pytest.raises(ValueError):
+            model_duplex_exchange(2, self.NBYTES, nic="psychic")
+
+    def test_balanced_walk_is_duplex_invariant(self):
+        """The two-sided books leave a *balanced* exchange untouched: the
+        mirror arrivals are already spaced by the injection-port rule, so the
+        ingestion replay is an exact no-op (bit-for-bit)."""
+        for plans in (1, 2, 4):
+            duplex = model_contended_exchange(8, 1, plans=plans, nic="duplex")
+            inject = model_contended_exchange(8, 1, plans=plans, nic="inject_only")
+            assert duplex == inject
+
+    def test_contended_walk_validates_nic(self):
+        with pytest.raises(ValueError):
+            model_contended_exchange(2, 1, nic="psychic")
+
+
 class TestSelectedExchangeModel:
     """model_selected_exchange: analytic selection shares the runtime's code."""
 

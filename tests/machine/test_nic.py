@@ -1,11 +1,22 @@
-"""Unit tests for the shared virtual NIC timeline."""
+"""Unit tests for the shared virtual NIC timeline (both ends of the wire)."""
 
+import random
 import threading
 
 import pytest
 
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
-from repro.machine.nic import NicError, NicTimeline
+from repro.machine.nic import IngestRecord, NicError, NicTimeline
+
+
+def records_for(reservations, wire_s):
+    """Ingest records mirroring a list of (source, reservation) pairs."""
+    return [
+        IngestRecord(
+            post_time=r.start, source=source, seq=r.seq, wire_s=wire_s, arrival=r.arrival
+        )
+        for source, r in reservations
+    ]
 
 
 class TestReserve:
@@ -105,6 +116,181 @@ class TestLedger:
         assert nic.ledger() == []
         fresh = nic.reserve(0, 3, ready=0.0, wire_s=1.0)
         assert fresh.start == 0.0
+
+
+class TestIngest:
+    """The receive-side mirror: ingestion ports and deterministic ordering."""
+
+    def test_lone_message_lands_at_its_arrival(self):
+        nic = NicTimeline()
+        reservation = nic.reserve(1, 0, ready=0.0, wire_s=10.0)
+        [landing] = nic.ingest(0, records_for([(1, reservation)], 10.0))
+        assert landing == reservation.arrival
+        assert nic.ingest_stalls == 0
+        assert nic.ingest_free_at(0) == pytest.approx(DEFAULT_WIRE_OVERLAP * 10.0)
+
+    def test_incast_serialises_on_the_ingestion_port(self):
+        nic = NicTimeline()
+        # Three senders, idle injection ports: all arrivals coincide.
+        reservations = [(s, nic.reserve(s, 0, ready=0.0, wire_s=10.0)) for s in (1, 2, 3)]
+        landings = nic.ingest(0, records_for(reservations, 10.0))
+        assert landings[0] == 10.0
+        assert landings[1] == pytest.approx(10.0 + DEFAULT_WIRE_OVERLAP * 10.0)
+        assert landings[2] == pytest.approx(10.0 + 2 * DEFAULT_WIRE_OVERLAP * 10.0)
+        assert nic.ingest_stalls == 2
+        assert nic.ingest_stalled_s == pytest.approx(3 * DEFAULT_WIRE_OVERLAP * 10.0)
+
+    def test_port_spaced_arrivals_pass_undelayed(self):
+        """One sender's stream to several peers is already port-spaced; its
+        mirror (several senders whose posts are spaced the same way) must
+        flow through the receiver's port without a single stall."""
+        nic = NicTimeline()
+        reservations = []
+        for index, source in enumerate((1, 2, 3, 4)):
+            ready = index * DEFAULT_WIRE_OVERLAP * 10.0
+            reservations.append((source, nic.reserve(source, 0, ready=ready, wire_s=10.0)))
+        landings = nic.ingest(0, records_for(reservations, 10.0))
+        assert landings == [r.arrival for _, r in reservations]
+        assert nic.ingest_stalls == 0
+
+    def test_batch_order_is_key_order_not_input_order(self):
+        """Shuffled input prices identically: the batch is served in
+        (post_time, source, seq) order whatever order envelopes were
+        collected in — the determinism the executor relies on."""
+        nic = NicTimeline()
+        reservations = [(s, nic.reserve(s, 0, ready=0.0, wire_s=4.0)) for s in (1, 2, 3, 4)]
+        records = records_for(reservations, 4.0)
+        reference = dict(zip((r.key for r in records), NicTimeline().ingest(0, records)))
+        for seed in (1, 7, 42):
+            shuffled = records[:]
+            random.Random(seed).shuffle(shuffled)
+            fresh = NicTimeline()
+            landings = fresh.ingest(0, shuffled)
+            assert {r.key: t for r, t in zip(shuffled, landings)} == reference
+
+    def test_commits_advance_the_cursor_across_batches(self):
+        nic = NicTimeline()
+        first = nic.reserve(1, 0, ready=0.0, wire_s=10.0)
+        second = nic.reserve(2, 0, ready=0.0, wire_s=10.0)
+        [l1] = nic.ingest(0, records_for([(1, first)], 10.0))
+        [l2] = nic.ingest(0, records_for([(2, second)], 10.0))
+        assert l1 == 10.0
+        assert l2 == pytest.approx(10.0 + DEFAULT_WIRE_OVERLAP * 10.0)
+
+    def test_zero_wire_records_pass_through(self):
+        nic = NicTimeline()
+        record = IngestRecord(post_time=1.0, source=1, seq=0, wire_s=0.0, arrival=5.0)
+        assert nic.ingest(0, [record]) == [5.0]
+        assert nic.ingests == 0
+        assert nic.ingest_free_at(0) == 0.0
+
+    def test_preview_does_not_commit(self):
+        nic = NicTimeline()
+        reservation = nic.reserve(1, 0, ready=0.0, wire_s=10.0)
+        before = nic.ingest_preview(0, reservation.arrival, 10.0)
+        assert before == reservation.arrival
+        assert nic.ingest_free_at(0) == 0.0  # unchanged
+        nic.ingest(0, records_for([(1, reservation)], 10.0))
+        # A second message of the same shape would now queue.
+        assert nic.ingest_preview(0, reservation.arrival, 10.0) == pytest.approx(
+            reservation.arrival + DEFAULT_WIRE_OVERLAP * 10.0
+        )
+
+    def test_ingestion_never_touches_send_side_state(self):
+        """The inject-only pin, at the unit level: ingesting cannot move any
+        injection port or link cursor."""
+        nic = NicTimeline()
+        reservations = [(s, nic.reserve(s, 0, ready=0.0, wire_s=10.0)) for s in (1, 2)]
+        ports = {s: nic.port_free_at(s) for s in (1, 2)}
+        links = {s: nic.link_free_at(s, 0) for s in (1, 2)}
+        nic.ingest(0, records_for(reservations, 10.0))
+        assert {s: nic.port_free_at(s) for s in (1, 2)} == ports
+        assert {s: nic.link_free_at(s, 0) for s in (1, 2)} == links
+
+    def test_reset_clears_ingestion_state(self):
+        nic = NicTimeline()
+        reservation = nic.reserve(1, 0, ready=0.0, wire_s=10.0)
+        nic.ingest(0, records_for([(1, reservation)], 10.0))
+        nic.reset()
+        assert nic.ingests == 0
+        assert nic.ingest_stalls == 0
+        assert nic.ingest_free_at(0) == 0.0
+        assert nic.pending_ingest(0) == 0
+
+
+class TestIngestBacklog:
+    """The advisory posted-but-not-yet-ingested signal selection prices."""
+
+    def test_pending_posts_show_up_as_backlog(self):
+        nic = NicTimeline()
+        for source in (1, 2, 3):
+            nic.reserve(source, 0, ready=0.0, wire_s=10.0)
+        assert nic.pending_ingest(0) == 3
+        # Replay: each message holds the port for an overlap fraction of its
+        # wire time, aligned at its (shared) post time.
+        assert nic.ingest_backlog(0, now=0.0) == pytest.approx(
+            3 * DEFAULT_WIRE_OVERLAP * 10.0
+        )
+        # Far in the future everything has drained (and is pruned).
+        assert nic.ingest_backlog(0, now=100.0) == 0.0
+
+    def test_commits_consume_pending(self):
+        nic = NicTimeline()
+        reservation = nic.reserve(1, 0, ready=0.0, wire_s=10.0)
+        assert nic.pending_ingest(0) == 1
+        nic.ingest(0, records_for([(1, reservation)], 10.0))
+        assert nic.pending_ingest(0) == 0
+
+    def test_future_posts_are_invisible(self):
+        """A rank can only know about traffic from its virtual past: records
+        whose post_time has not passed on the caller's clock are excluded."""
+        nic = NicTimeline()
+        nic.reserve(1, 0, ready=50.0, wire_s=10.0)  # posts at t=50
+        assert nic.ingest_backlog(0, now=10.0) == 0.0
+        assert nic.ingest_backlog(0, now=51.0) > 0.0
+
+    def test_backlog_is_a_pure_read(self):
+        """Queries never consume records, whatever clock they carry — so
+        concurrent readers with different clocks cannot disturb each other
+        (the consumption happens at ingest time, in receiver program order)."""
+        nic = NicTimeline()
+        nic.reserve(1, 0, ready=0.0, wire_s=10.0)
+        assert nic.ingest_backlog(0, now=100.0) == 0.0  # drained from here...
+        assert nic.pending_ingest(0) == 1  # ...but not consumed
+        assert nic.ingest_backlog(0, now=0.0) == pytest.approx(
+            DEFAULT_WIRE_OVERLAP * 10.0
+        )
+
+    def test_commit_prunes_records_drained_behind_the_cursor(self):
+        """A record consumed on another path (a system receive) is dropped at
+        the next commit once the committed cursor has passed it."""
+        nic = NicTimeline()
+        stray = nic.reserve(1, 0, ready=0.0, wire_s=1.0)  # never ingested
+        assert stray.arrival == 1.0
+        late = nic.reserve(2, 0, ready=50.0, wire_s=10.0)
+        nic.ingest(0, records_for([(2, late)], 10.0))
+        assert nic.pending_ingest(0) == 0  # the stray was pruned at commit
+
+    def test_inject_only_reservations_skip_the_ledger(self):
+        nic = NicTimeline()
+        nic.reserve(1, 0, ready=0.0, wire_s=10.0, ingest=False)
+        assert nic.pending_ingest(0) == 0
+        assert nic.ingest_backlog(0, now=0.0) == 0.0
+
+    def test_pending_is_bounded(self):
+        nic = NicTimeline(pending_limit=4)
+        for index in range(10):
+            nic.reserve(1, 0, ready=float(index), wire_s=0.5)
+        assert nic.pending_ingest(0) <= 4
+
+    def test_per_source_seqs_are_deterministic(self):
+        nic = NicTimeline()
+        first = nic.reserve(3, 0, ready=0.0, wire_s=1.0)
+        second = nic.reserve(3, 1, ready=0.0, wire_s=1.0)
+        other = nic.reserve(4, 0, ready=0.0, wire_s=1.0)
+        assert (first.seq, second.seq) == (0, 1)
+        assert other.seq == 0  # counters are per source
+        assert nic.next_seq(3) == 2
 
 
 class TestThreadSafety:

@@ -1,0 +1,203 @@
+"""Property-based pins for the duplex NIC (PR 5).
+
+Three invariants anchor the new receive-side accounting:
+
+* ``TempiConfig(nic="inject_only")`` is **byte- and price-identical to the
+  PR-4 books**: delivery matches the duplex run byte for byte, no ingestion
+  state is ever touched, and every receive completes exactly at its
+  sender-computed ``available_at`` (the PR-4 semantics, asserted against the
+  request's own arrival hint);
+* duplex accounting can only *delay* landings, never accelerate them, and a
+  single sender is never delayed at all;
+* duplex arrival order is **independent of plan-issue interleaving**: the
+  same incast priced under adversarial wall-clock jitter (senders sleeping
+  in different orders before posting) lands at bit-identical virtual times,
+  because ingestion batches are served in the deterministic
+  ``(post_time, source, seq)`` key order and committed in receiver program
+  order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.constructors import Type_vector
+from repro.mpi.datatype import BYTE
+from repro.mpi.world import World
+from repro.tempi.config import TempiConfig
+from repro.tempi.interposer import interpose
+from repro.tempi.progress import ProgressEngine
+
+
+@contextmanager
+def recorded_landings():
+    """Record every (sender-computed arrival, committed landing) pair.
+
+    Wraps the progress engine's ingestion seam — the exact point where duplex
+    accounting may delay a landing and inject-only must not — so the pin
+    asserts the pricing claim itself, not a downstream clock that also
+    carries unpack charges.
+    """
+    pairs: list[tuple[float, float]] = []
+    lock = threading.Lock()
+    one, batch = ProgressEngine.ingest_one, ProgressEngine.ingest_batch
+
+    def record_one(self, envelope):
+        landing = one(self, envelope)
+        with lock:
+            pairs.append((envelope.available_at, landing))
+        return landing
+
+    def record_batch(self, envelopes):
+        landings = batch(self, envelopes)
+        with lock:
+            pairs.extend(
+                (envelope.available_at, landing)
+                for envelope, landing in zip(envelopes, landings)
+            )
+        return landings
+
+    ProgressEngine.ingest_one = record_one
+    ProgressEngine.ingest_batch = record_batch
+    try:
+        yield pairs
+    finally:
+        ProgressEngine.ingest_one = one
+        ProgressEngine.ingest_batch = batch
+
+
+@st.composite
+def incast_cases(draw):
+    """An incast shape: sender count and a wire-heavy vector datatype."""
+    senders = draw(st.integers(min_value=1, max_value=4))
+    nblocks = draw(st.sampled_from((64, 256, 1024)))
+    block = draw(st.sampled_from((64, 256)))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return senders, nblocks, block, seed
+
+
+def _run_incast(config, senders, nblocks, block, seed, jitter=None):
+    """N senders -> rank 0; returns (per-message clocks/hints, payloads, world).
+
+    ``jitter`` optionally maps each sender rank to a wall-clock sleep (in
+    milliseconds) taken *before* its Isend, permuting the real-time order the
+    posts hit the shared timeline in without touching any virtual input.
+    """
+
+    def program(ctx):
+        comm = interpose(ctx, config)
+        datatype = comm.Type_commit(Type_vector(nblocks, block, 2 * block, BYTE))
+        buf = ctx.gpu.malloc(datatype.extent)
+        if ctx.rank == 0:
+            # The barrier is the happens-before edge: every sender's post is
+            # in the mailbox before a single hint is probed.
+            comm.Barrier()
+            requests = [
+                comm.Irecv((buf, 1, datatype), source=source, tag=source)
+                for source in range(1, comm.Get_size())
+            ]
+            observations = []
+            payloads = []
+            for request in requests:
+                before = ctx.clock.now
+                hint = request.arrival_hint()
+                request.Wait()
+                observations.append((before, hint, ctx.clock.now))
+                payloads.append(buf.data.copy())
+            return observations, payloads
+        if jitter is not None:
+            time.sleep(jitter.get(ctx.rank, 0.0) / 1e3)
+        rng = np.random.default_rng(seed + ctx.rank)
+        buf.data[:] = rng.integers(0, 255, buf.nbytes, dtype=np.uint8)
+        request = comm.Isend((buf, 1, datatype), dest=0, tag=ctx.rank)
+        comm.Barrier()
+        request.Wait()
+        return None
+
+    world = World(senders + 1, ranks_per_node=1)
+    observations, payloads = world.run(program)[0]
+    return observations, payloads, world
+
+
+@settings(max_examples=15, deadline=None)
+@given(incast_cases())
+def test_inject_only_is_byte_and_price_identical_to_pr4(case):
+    """The ablation pin: PR-4 semantics, observable at the request surface.
+
+    Under ``nic="inject_only"`` a receive's landing *is* the envelope's
+    sender-computed arrival: the pre-Wait arrival hint (which reads exactly
+    ``available_at`` on this path) equals the post-Wait clock whenever the
+    receive had to wait, and no ingestion state is ever created or consumed.
+    """
+    senders, nblocks, block, seed = case
+    config = TempiConfig(nic="inject_only")
+    with recorded_landings() as pairs:
+        observations, payloads, world = _run_incast(config, senders, nblocks, block, seed)
+    assert len(pairs) == senders
+    for available_at, landing in pairs:
+        assert landing == available_at, (
+            "inject_only must land receives at the sender-computed arrival"
+        )
+    for before, hint, after in observations:
+        assert hint is not None
+        assert after >= max(before, hint)  # landing plus the unpack charge
+    assert world.nic.ingests == 0
+    assert world.nic.ingest_stalls == 0
+    for rank in range(senders + 1):
+        assert world.nic.ingest_free_at(rank) == 0.0
+
+    # Byte identity: the duplex run delivers exactly the same payloads.
+    _, duplex_payloads, _ = _run_incast(TempiConfig(), senders, nblocks, block, seed)
+    for expected, actual in zip(payloads, duplex_payloads):
+        assert np.array_equal(expected, actual)
+
+
+@settings(max_examples=15, deadline=None)
+@given(incast_cases())
+def test_duplex_only_ever_delays(case):
+    """Landings under duplex are >= the inject-only books, message for
+    message — and exactly equal for a single sender (no incast, no skew)."""
+    senders, nblocks, block, seed = case
+    inject, _, _ = _run_incast(TempiConfig(nic="inject_only"), senders, nblocks, block, seed)
+    duplex, _, world = _run_incast(TempiConfig(), senders, nblocks, block, seed)
+    for (_, _, inject_after), (_, _, duplex_after) in zip(inject, duplex):
+        assert duplex_after >= inject_after - 1e-15
+    if senders == 1:
+        assert [o[2] for o in duplex] == [o[2] for o in inject]
+        assert world.nic.ingest_stalls == 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    case=incast_cases(),
+    order_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_duplex_arrivals_independent_of_issue_interleaving(case, order_seed):
+    """The determinism pin: adversarial wall-clock jitter on the senders —
+    permuting the real-time order their posts hit the shared timeline —
+    must not move a single virtual landing."""
+    senders, nblocks, block, seed = case
+    rng = np.random.default_rng(order_seed)
+    jitters = [
+        None,
+        {rank: float(rng.integers(0, 4)) for rank in range(1, senders + 1)},
+    ]
+    reference = None
+    for jitter in jitters:
+        observations, payloads, _ = _run_incast(
+            TempiConfig(), senders, nblocks, block, seed, jitter=jitter
+        )
+        landings = [after for _, _, after in observations]
+        blob = [payload.tobytes() for payload in payloads]
+        if reference is None:
+            reference = (landings, blob)
+        else:
+            assert landings == reference[0], (
+                "virtual landings moved under wall-clock jitter"
+            )
+            assert blob == reference[1]

@@ -32,7 +32,7 @@ def _exchange_program(ctx, *, overlap, method=PackMethod.DEVICE, iterations=1):
     start = ctx.clock.now
     for _ in range(iterations):
         plan = compile_exchange(
-            ctx.comm.rank, send, sections, recv, sections, lambda p, n: method
+            ctx.comm.rank, send, sections, recv, sections, lambda p, n, peer=None: method
         )
         executor.execute(plan).Wait()
     return recv.data.copy(), ctx.clock.now - start
@@ -115,7 +115,7 @@ class TestExecutorStats:
             recv = ctx.gpu.malloc(extent * ctx.size)
             sections = [PlanSection(p, 1, p * extent, packer) for p in range(ctx.size)]
             plan = compile_exchange(
-                ctx.comm.rank, send, sections, recv, sections, lambda p, n: PackMethod.DEVICE
+                ctx.comm.rank, send, sections, recv, sections, lambda p, n, peer=None: PackMethod.DEVICE
             )
             executor.execute(plan).Wait()
             return stats
@@ -142,7 +142,7 @@ class TestExecutorStats:
                 sections,
                 recv,
                 sections,
-                lambda p, n: PackMethod.DEVICE,
+                lambda p, n, peer=None: PackMethod.DEVICE,
                 nonblocking=True,
             )
             request = executor.execute(plan)
@@ -186,7 +186,7 @@ class TestPersistentStagingAcrossIterations:
             for _ in range(3):
                 plan = compile_exchange(
                     ctx.comm.rank, send, sections, recv, sections,
-                    lambda p, n: PackMethod.ONESHOT,
+                    lambda p, n, peer=None: PackMethod.ONESHOT,
                 )
                 executor.execute(plan).Wait()
             return cache.stats

@@ -145,7 +145,7 @@ class TestPackedCollectives:
             for peer in range(ctx.size):
                 send.data[peer * extent : (peer + 1) * extent] = (ctx.rank * 10 + peer) % 251
             sections = self._sections(ctx.size, packer)
-            select = lambda packer, nbytes: method  # noqa: E731
+            select = lambda packer, nbytes, peer=None: method  # noqa: E731
             for _ in range(iterations):
                 counts = alltoallv_packed(
                     ctx.comm, cache, select, send, sections, recv, sections
@@ -211,7 +211,7 @@ class TestPackedCollectives:
             send = [PackedSection(0, 1, 0, packer)]
             with pytest.raises(MethodError):
                 alltoallv_packed(
-                    ctx.comm, cache, lambda p, n: PackMethod.DEVICE, buf, send, buf, []
+                    ctx.comm, cache, lambda p, n, peer=None: PackMethod.DEVICE, buf, send, buf, []
                 )
             return True
 

@@ -163,3 +163,29 @@ class TestExchangeEstimate:
             summit_model.exchange_estimate(self.MESSAGES, wire_overlap=0.0)
         with pytest.raises(ValueError):
             summit_model.exchange_estimate(self.MESSAGES, wire_overlap=1.5)
+
+    def test_invalid_nic_rejected(self, summit_model):
+        with pytest.raises(ValueError):
+            summit_model.exchange_estimate(self.MESSAGES, nic="psychic")
+
+    def test_duplex_never_undercuts_inject_only(self, summit_model):
+        """Pricing the second end of the wire can only ever add — including
+        on heterogeneous message lists whose pack ordering clusters arrivals
+        (regression: the duplex branch used to discard the send-side bound)."""
+        lists = [
+            self.MESSAGES,
+            [(MIB, 8)],
+            [(KIB, 1), (4 * MIB, 512), (64 * KIB, 8), (KIB, 64)],
+            [(4 * MIB, 1), (KIB, 512), (KIB, 512), (KIB, 512)],
+        ]
+        for messages in lists:
+            _, inject = summit_model.exchange_estimate(messages, nic="inject_only")
+            _, duplex = summit_model.exchange_estimate(messages, nic="duplex")
+            assert duplex >= inject
+
+    def test_uniform_messages_are_duplex_invariant(self, summit_model):
+        """A balanced list has no receive-side skew: identical books."""
+        uniform = [(256 * KIB, 8)] * 4
+        assert summit_model.exchange_estimate(uniform) == summit_model.exchange_estimate(
+            uniform, nic="inject_only"
+        )

@@ -88,7 +88,7 @@ class TestCompileExchange:
         sections = self._sections(packer, [0, 1, 2, 3])
         selections = []
 
-        def select(p, nbytes):
+        def select(p, nbytes, peer=None):
             selections.append(nbytes)
             return PackMethod.DEVICE
 
@@ -108,7 +108,7 @@ class TestCompileExchange:
         packer = make_packer()
         buf = make_buffer(packer.object_extent * 2)
         sections = self._sections(packer, [0, 1])
-        plan = compile_exchange(0, buf, sections, buf, sections, lambda p, n: PackMethod.ONESHOT)
+        plan = compile_exchange(0, buf, sections, buf, sections, lambda p, n, peer=None: PackMethod.ONESHOT)
         assert plan.pack_stages[0].staging_key == (
             "collective", "send", 1, MemoryKind.HOST_MAPPED
         )
@@ -123,7 +123,7 @@ class TestCompileExchange:
         packer = make_packer()
         buf = make_buffer(packer.object_extent * 2)
         sections = [PlanSection(1, 0, 0, packer)]
-        plan = compile_exchange(0, buf, sections, buf, sections, lambda p, n: PackMethod.DEVICE)
+        plan = compile_exchange(0, buf, sections, buf, sections, lambda p, n, peer=None: PackMethod.DEVICE)
         assert not plan.pack_stages and not plan.unpack_stages and plan.local is None
 
     def test_duplicate_peers_concatenate_in_order(self):
@@ -133,7 +133,7 @@ class TestCompileExchange:
             PlanSection(1, 1, 0, packer),
             PlanSection(1, 1, packer.object_extent, packer),
         ]
-        plan = compile_exchange(0, buf, sections, buf, sections, lambda p, n: PackMethod.DEVICE)
+        plan = compile_exchange(0, buf, sections, buf, sections, lambda p, n, peer=None: PackMethod.DEVICE)
         assert len(plan.pack_stages) == 1
         stage = plan.pack_stages[0]
         assert len(stage.sections) == 2
@@ -145,4 +145,4 @@ class TestCompileExchange:
         buf = make_buffer(packer.object_extent)
         send = [PlanSection(0, 1, 0, packer)]
         with pytest.raises(PlanError):
-            compile_exchange(0, buf, send, buf, [], lambda p, n: PackMethod.DEVICE)
+            compile_exchange(0, buf, send, buf, [], lambda p, n, peer=None: PackMethod.DEVICE)

@@ -63,6 +63,111 @@ class TestEngineModes:
 
         assert all(World(1).run(program))
 
+    def test_unknown_nic_mode_rejected(self, summit_model):
+        def program(ctx):
+            with pytest.raises(ProgressError):
+                ProgressEngine(ctx.comm, None, nic_mode="psychic")
+            return True
+
+        assert all(World(1).run(program))
+
+    def test_duplex_requires_the_shared_timeline(self, summit_model):
+        """``nic="duplex"`` degrades to inject-only semantics in per-plan
+        mode — there is no shared timeline to ingest against."""
+
+        def program(ctx):
+            shared = ProgressEngine(ctx.comm, None, mode="shared")
+            per_plan = ProgressEngine(ctx.comm, None, mode="per_plan")
+            inject = ProgressEngine(ctx.comm, None, mode="shared", nic_mode="inject_only")
+            assert shared.duplex
+            assert not per_plan.duplex
+            assert not inject.duplex
+            return True
+
+        assert all(World(2).run(program))
+
+    def test_reserve_wire_carries_the_nic_identity(self, summit_model):
+        def program(ctx):
+            engine = ProgressEngine(ctx.comm, None, mode="shared")
+            slot = engine.reserve_wire(1, ready=0.0, wire_s=10.0, nbytes=64)
+            assert (slot.start, slot.arrival, slot.wire_s) == (0.0, 10.0, 10.0)
+            assert slot.seq == 0  # shared reservations are ingestable
+            per_plan = ProgressEngine(ctx.comm, None, mode="per_plan")
+            assert per_plan.reserve_wire(1, ready=0.0, wire_s=10.0).seq == -1
+            return True
+
+        assert all(World(2).run(program))
+
+
+class TestDuplexIngestion:
+    """Receive-side accounting at the engine level."""
+
+    def _engine_pair(self, ctx, nic_mode):
+        from repro.mpi.p2p import Envelope
+
+        engine = ProgressEngine(ctx.comm, None, mode="shared", nic_mode=nic_mode)
+
+        def envelope(source, seq, available_at, wire_s, post_time):
+            import numpy as np
+
+            return Envelope(
+                source=source,
+                dest=ctx.rank,
+                tag=0,
+                context=0,
+                payload=np.zeros(1, dtype=np.uint8),
+                available_at=available_at,
+                device=True,
+                wire_s=wire_s,
+                post_time=post_time,
+                source_seq=seq,
+            )
+
+        return engine, envelope
+
+    def test_inject_only_is_the_identity(self, summit_model):
+        def program(ctx):
+            engine, envelope = self._engine_pair(ctx, "inject_only")
+            e = envelope(1, 0, available_at=10.0, wire_s=10.0, post_time=0.0)
+            assert engine.ingest_one(e) == 10.0
+            assert engine.ingest_batch([e, e]) == [10.0, 10.0]
+            assert engine.arrival_preview(e) == 10.0
+            assert ctx.world.nic.ingests == 0
+            return True
+
+        assert all(World(2, ranks_per_node=1).run(program))
+
+    def test_duplex_batch_is_served_in_key_order(self, summit_model):
+        def program(ctx):
+            from repro.machine.network import DEFAULT_WIRE_OVERLAP
+
+            engine, envelope = self._engine_pair(ctx, "duplex")
+            early = envelope(2, 0, available_at=10.0, wire_s=10.0, post_time=0.0)
+            late = envelope(1, 0, available_at=10.5, wire_s=10.0, post_time=0.5)
+            # Input order is reversed relative to key order: the early post
+            # must still be served first.
+            landings = engine.ingest_batch([late, early])
+            assert landings[1] == 10.0
+            assert landings[0] == pytest.approx(
+                max(10.5, DEFAULT_WIRE_OVERLAP * 10.0 + 10.0)
+            )
+            return True
+
+        assert all(World(3, ranks_per_node=1).run(program))
+
+    def test_system_path_envelopes_opt_out(self, summit_model):
+        """Envelopes without NIC identity (wire_s == 0 or seq < 0) are never
+        ingested — the system MPI path keeps its PR-4 semantics."""
+
+        def program(ctx):
+            engine, envelope = self._engine_pair(ctx, "duplex")
+            plain = envelope(1, -1, available_at=7.0, wire_s=0.0, post_time=0.0)
+            assert engine.ingest_one(plain) == 7.0
+            assert ctx.world.nic.ingests == 0
+            return True
+
+        assert all(World(2, ranks_per_node=1).run(program))
+
 
 class TestCrossPlanSerialisation:
     """The acceptance claim: concurrent plans contend for the injection port."""
@@ -350,6 +455,18 @@ class TestSmallPlanBatcher:
         (batched, _), _ = results
         assert batched == 0
         assert world.nic.reservations == 0
+
+    def test_batched_flush_leaves_no_pending_ingest(self, summit_model):
+        """Regression: the batch's reservation-time pending record must be
+        consumed when its constituents are ingested — a fully-landed burst
+        cannot keep looking like receive-side backlog at its peer."""
+        world, _ = self._burst(summit_model, TempiConfig())
+        assert world.nic.pending_ingest(1) == 0
+
+    def test_inject_only_never_feeds_the_pending_ledger(self, summit_model):
+        world, _ = self._burst(summit_model, TempiConfig(nic="inject_only"))
+        assert world.nic.pending_ingest(1) == 0
+        assert world.nic.ingests == 0
 
 
 class TestSendrecvThroughPlans:

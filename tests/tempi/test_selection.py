@@ -128,6 +128,86 @@ class TestContendedSelector:
             assert estimate.best() is summit_model.choose_method(nbytes, block)
 
 
+class TestDuplexEstimate:
+    """The link and ingestion terms of ``contended_estimate`` (PR 5)."""
+
+    def test_extra_terms_fold_into_the_same_max(self, summit_model):
+        """`max(pack, inject, link, ingest) + wire + unpack`: whichever single
+        term dominates produces the same totals."""
+        backlog = 500e-6
+        base = contended_estimate(summit_model, 4 * KIB, 1, backlog)
+        via_link = contended_estimate(summit_model, 4 * KIB, 1, 0.0, link_backlog_s=backlog)
+        via_ingest = contended_estimate(
+            summit_model, 4 * KIB, 1, 0.0, ingest_backlog_s=backlog
+        )
+        assert via_link.oneshot == base.oneshot and via_link.device == base.device
+        assert via_ingest.oneshot == base.oneshot and via_ingest.device == base.device
+        assert base.bound() == "inject"
+        assert via_link.bound() == "link"
+        assert via_ingest.bound() == "ingest"
+
+    def test_zero_extra_terms_are_bitwise_pr4(self, summit_model):
+        """Explicit zeros are the PR-4 pricing, bit for bit."""
+        for nbytes, block, backlog in ((KIB, 8, 0.0), (4 * KIB, 1, 3e-4), (MIB, 64, 1e-3)):
+            old = contended_estimate(summit_model, nbytes, block, backlog)
+            new = contended_estimate(
+                summit_model, nbytes, block, backlog, link_backlog_s=0.0, ingest_backlog_s=0.0
+            )
+            assert (old.oneshot, old.device) == (new.oneshot, new.device)
+
+    def test_bound_prefers_pack_on_ties(self, summit_model):
+        estimate = contended_estimate(summit_model, 4 * KIB, 1, 0.0)
+        assert estimate.bound() == "pack"
+
+    def test_rejects_negative_extra_terms(self, summit_model):
+        with pytest.raises(SelectionError):
+            contended_estimate(summit_model, KIB, 8, 0.0, link_backlog_s=-1.0)
+        with pytest.raises(SelectionError):
+            contended_estimate(summit_model, KIB, 8, 0.0, ingest_backlog_s=-1.0)
+
+    def test_hot_receiver_flips_the_selection(self, summit_model):
+        """A hot peer's ingestion backlog flips the idle device choice to
+        one-shot at the 4 KiB crossover shape — and the inject_only ablation,
+        blind to the receive side, never sees it."""
+        nic = NicTimeline()
+        for source in (1, 2, 3, 4):
+            nic.reserve(source, 0, 0.0, 60e-6, 256 * KIB)  # incast on rank 0
+        packer = Packer(
+            StridedBlock(start=0, counts=(1, 4 * KIB), strides=(1, 2)),
+            object_extent=2 * 4 * KIB,
+        )
+        nbytes = packer.packed_size(1)
+        idle = summit_model.choose_method(nbytes, 1)
+        assert idle is PackMethod.DEVICE
+        duplex = ContendedSelector(summit_model, nic, 9, config=TempiConfig())
+        ablation = ContendedSelector(
+            summit_model, nic, 9, config=TempiConfig(nic="inject_only")
+        )
+        assert duplex(packer, nbytes, peer=0) is PackMethod.ONESHOT
+        assert ablation(packer, nbytes, peer=0) is idle
+        # Without a destination there is no hot peer to price.
+        assert duplex(packer, nbytes) is idle
+
+    def test_own_link_backlog_counts_under_duplex(self, summit_model):
+        nic = NicTimeline()
+        nic.reserve(0, 1, 0.0, 400e-6, MIB)  # this rank's own earlier message
+        selector = ContendedSelector(summit_model, nic, 0, config=TempiConfig())
+        assert selector.link_backlog(1) > 0.0
+        assert selector.link_backlog(2) == 0.0
+        assert selector.link_backlog(None) == 0.0
+
+    def test_ingest_term_reads_the_advisory_ledger(self, summit_model):
+        nic = NicTimeline()
+        nic.reserve(1, 0, 0.0, 60e-6, 256 * KIB)
+        selector = ContendedSelector(summit_model, nic, 9, config=TempiConfig())
+        assert selector.ingest_backlog(0) > 0.0
+        assert selector.ingest_backlog(3) == 0.0
+        inject_only = ContendedSelector(
+            summit_model, nic, 9, config=TempiConfig(nic="inject_only")
+        )
+        assert inject_only.ingest_backlog(0) == 0.0
+
+
 class TestMakeSelector:
     def test_default_is_model(self, summit_model):
         selector = make_selector(TempiConfig(), summit_model)

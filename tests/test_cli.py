@@ -88,6 +88,35 @@ class TestSelectTableCommand:
                      "--plans", "-1"]) == 2
         assert main(["select-table", "--measurement", str(measurement_file),
                      "--sizes", "0"]) == 2
+        assert main(["select-table", "--measurement", str(measurement_file),
+                     "--incast", "-1"]) == 2
+
+    def test_incast_flips_and_names_the_binding_port(self, measurement_file, capsys):
+        """The docs' worked example: a hot receiver flips the 4 KiB cell and
+        every loaded cell is annotated with the port that bound it."""
+        args = ["select-table", "--measurement", str(measurement_file),
+                "--sizes", "4096", "--blocks", "1"]
+        main(args + ["--nic", "duplex", "--incast", "4"])
+        loaded = capsys.readouterr().out
+        assert "ingestion backlog" in loaded
+        assert "oneshot/ing" in loaded
+
+    def test_inject_only_ignores_the_receive_side(self, measurement_file, capsys):
+        """The PR-4 ablation prices the send side only: --incast is inert and
+        the idle table comes back."""
+        args = ["select-table", "--measurement", str(measurement_file),
+                "--sizes", "4096", "--blocks", "1"]
+        main(args)
+        idle = capsys.readouterr().out
+        main(args + ["--nic", "inject_only", "--incast", "4"])
+        ablated = capsys.readouterr().out
+        assert "ignored" in ablated
+        assert idle.splitlines()[-1] == ablated.splitlines()[-1]
+
+    def test_link_busy_binds_the_link(self, measurement_file, capsys):
+        main(["select-table", "--measurement", str(measurement_file),
+              "--sizes", "4096", "--blocks", "1", "--link-busy", "4"])
+        assert "/lnk" in capsys.readouterr().out
 
 
 class TestParser:

@@ -1,0 +1,75 @@
+"""Relative-link checker for the repository's Markdown documentation.
+
+Scans the given Markdown files (and every ``*.md`` under the given
+directories) for inline links and validates that each *relative* target —
+optionally carrying a ``#fragment`` — exists on disk, resolved against the
+linking file's directory.  External (``http(s)://``, ``mailto:``) and
+pure-fragment links are ignored.  Exits non-zero listing every broken link,
+so the CI docs step fails when a rename orphans a cross-reference.
+
+Usage::
+
+    python tools/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline Markdown links: ``[text](target)`` — images included.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not files on disk.
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def collect(arguments: list[str]) -> list[Path]:
+    """The Markdown files named by the arguments (directories recursed)."""
+    files: list[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        else:
+            files.append(path)
+    return files
+
+
+def broken_links(files: list[Path]) -> list[str]:
+    """Every relative link in ``files`` whose target does not exist."""
+    problems = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        for number, line in enumerate(path.read_text().splitlines(), start=1):
+            for target in LINK.findall(line):
+                if target.startswith(EXTERNAL) or target.startswith("#"):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                if not (path.parent / relative).exists():
+                    problems.append(f"{path}:{number}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: check the given files/directories, report and exit."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments:
+        print("usage: check_links.py <file-or-directory> [...]", file=sys.stderr)
+        return 2
+    files = collect(arguments)
+    problems = broken_links(files)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print(f"checked {len(files)} file(s): all relative links resolve")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
