@@ -1,0 +1,118 @@
+"""Simulator throughput — the event-driven fast path vs the eager path.
+
+Not a paper figure: this benchmark measures the *simulator itself*.  It
+drives the typed-collective control plane (compile + shared-NIC pricing) at
+halo-exchange scale and reports simulated messages per wall-clock second,
+eager (plan cache and selection memo off — the pre-fast-path behaviour)
+against cached (both on), plus the NIC's peak resident ledger footprint.
+
+``python benchmarks/bench_sim_throughput.py --smoke`` runs the CI sweep
+(256/512/1024 ranks) and, with ``--baseline BENCH_sim.json``, regression-
+gates the cached/eager speedup ratio against the committed numbers
+(dimensionless, so robust to CI machine speed).  ``--output`` rewrites the
+baseline file.  The full sweep adds 2048 ranks and asserts the >=10x
+speedup target at 256 ranks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench.simthroughput import (
+    FULL_RANKS,
+    HALO_DEGREE,
+    SMOKE_RANKS,
+    check_sweep,
+    compare_baseline,
+    render_table,
+    run_sweep,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+
+def sweep_payload(results: dict, *, mode: str) -> dict:
+    """The JSON document committed as ``BENCH_sim.json``."""
+    return {
+        "schema": 1,
+        "benchmark": "sim-throughput",
+        "mode": mode,
+        "halo_degree": HALO_DEGREE,
+        "results": {str(nranks): entry for nranks, entry in sorted(results.items())},
+    }
+
+
+@pytest.mark.benchmark
+@pytest.mark.slow
+def test_sim_throughput(benchmark, summit_model, report):
+    results = benchmark.pedantic(
+        lambda: run_sweep((64, 128), summit_model), rounds=1, iterations=1
+    )
+    print("\nSimulator throughput — eager vs cached control plane (wall-clock)")
+    print(render_table(results))
+    check_sweep(results)
+    smallest = min(results)
+    report.add(
+        "sim throughput (infrastructure)",
+        f"event-core speedup over eager recompile at {smallest} ranks",
+        "no paper value (simulator wall-clock, not simulated latency)",
+        f"{results[smallest]['speedup']:.1f}x",
+        matches_shape=results[smallest]["speedup"] > 1.0,
+        note="plan cache + selection memo replay the same charges (bit-identity pinned)",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI sweep (256/512/1024 ranks) without the 2048-rank point")
+    parser.add_argument("--ranks", type=int, nargs="*", default=None,
+                        help="explicit rank counts to sweep")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed BENCH_sim.json to regression-gate against "
+                             "(>20%% speedup-ratio drop fails)")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the sweep as a BENCH_sim.json baseline here")
+    args = parser.parse_args(argv)
+    if args.ranks:
+        rank_counts, mode = tuple(args.ranks), "custom"
+    elif args.smoke:
+        rank_counts, mode = SMOKE_RANKS, "smoke"
+    else:
+        rank_counts, mode = FULL_RANKS, "full"
+
+    results = run_sweep(rank_counts)
+    print("Simulator throughput — eager vs cached control plane (wall-clock)")
+    print(render_table(results))
+    check_sweep(results)
+
+    if mode == "full":
+        smallest = min(results)
+        speedup = results[smallest]["speedup"]
+        assert speedup >= 10.0, (
+            f"{smallest} ranks: fast path {speedup:.1f}x under the 10x target"
+        )
+        print(f"OK: {speedup:.1f}x over the eager path at {smallest} ranks (target 10x)")
+
+    if args.output is not None:
+        args.output.write_text(json.dumps(sweep_payload(results, mode=mode), indent=2) + "\n")
+        print(f"wrote baseline {args.output}")
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        failures = compare_baseline(results, baseline)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"OK: no regression vs committed {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

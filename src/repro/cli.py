@@ -90,6 +90,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="object sizes in bytes (default: 256 B to 4 MiB, powers of two)")
     table.add_argument("--blocks", type=int, nargs="*", default=None,
                        help="contiguous block lengths in bytes (default: the Fig. 10 sweep)")
+
+    bench = sub.add_parser("bench", help="benchmarks of the simulator itself")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    sim = bench_sub.add_parser(
+        "sim-throughput",
+        help="simulated messages/sec, eager vs cached control plane "
+             "(the event-core fast path)",
+    )
+    sim.add_argument("--smoke", action="store_true",
+                     help="CI sweep (256/512/1024 ranks) without the 2048-rank point")
+    sim.add_argument("--ranks", type=int, nargs="*", default=None,
+                     help="explicit rank counts to sweep")
+    sim.add_argument("--output", type=Path, default=None,
+                     help="write the sweep as a BENCH_sim.json baseline here")
     return parser
 
 
@@ -202,6 +216,43 @@ def _cmd_select_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_sim(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench.simthroughput import (
+        FULL_RANKS,
+        SMOKE_RANKS,
+        check_sweep,
+        render_table,
+        run_sweep,
+    )
+
+    if args.ranks:
+        rank_counts = tuple(args.ranks)
+        mode = "custom"
+    elif args.smoke:
+        rank_counts, mode = SMOKE_RANKS, "smoke"
+    else:
+        rank_counts, mode = FULL_RANKS, "full"
+    if any(n < 4 for n in rank_counts):
+        print("error: --ranks entries must be at least 4", file=sys.stderr)
+        return 2
+    results = run_sweep(rank_counts)
+    print("simulator throughput — eager vs cached control plane (wall-clock)")
+    print(render_table(results))
+    check_sweep(results)
+    if args.output is not None:
+        payload = {
+            "schema": 1,
+            "benchmark": "sim-throughput",
+            "mode": mode,
+            "results": {str(n): entry for n, entry in sorted(results.items())},
+        }
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote baseline {args.output}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro.cli`` (returns a process exit code)."""
     args = _build_parser().parse_args(argv)
@@ -213,6 +264,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_halo(args)
     if args.command == "select-table":
         return _cmd_select_table(args)
+    if args.command == "bench":
+        if args.bench_command == "sim-throughput":
+            return _cmd_bench_sim(args)
+        raise AssertionError(
+            f"unhandled bench command {args.bench_command!r}"
+        )  # pragma: no cover
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

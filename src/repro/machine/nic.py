@@ -61,9 +61,9 @@ accounting, bit-for-bit).
 from __future__ import annotations
 
 import threading
-from collections import deque
-from dataclasses import dataclass
-from typing import Sequence
+from typing import NamedTuple, Sequence
+
+import numpy as np
 
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
 
@@ -72,9 +72,13 @@ class NicError(ValueError):
     """An impossible reservation was requested."""
 
 
-@dataclass(frozen=True)
-class NicReservation:
-    """Outcome of placing one message on the timeline."""
+class NicReservation(NamedTuple):
+    """Outcome of placing one message on the timeline.
+
+    A :class:`~typing.NamedTuple` — reservations are minted once per posted
+    message on the simulator's hottest path, and tuples allocate in a single
+    step with no per-instance ``__dict__``.
+    """
 
     #: Virtual time the message starts occupying the port (>= ready time).
     start: float
@@ -93,9 +97,13 @@ class NicReservation:
         return self.stalled_s > 0.0
 
 
-@dataclass(frozen=True)
-class LinkRecord:
-    """One ledger entry: a message that occupied a link."""
+class LinkRecord(NamedTuple):
+    """One ledger entry: a message that occupied a link.
+
+    The timeline itself stores these columnar, in a numpy struct-array ring
+    (:class:`_LedgerRing`); this tuple is the row view handed back by
+    :meth:`NicTimeline.ledger`.
+    """
 
     source: int
     dest: int
@@ -104,15 +112,15 @@ class LinkRecord:
     nbytes: int
 
 
-@dataclass(frozen=True)
-class IngestRecord:
+class IngestRecord(NamedTuple):
     """One message's receive-side identity: who sent what, entering when.
 
     ``post_time`` is the virtual time the message entered the wire (the
     injection reservation's ``start``); ``arrival`` the time its last byte
     would land on an idle ingestion port; ``seq`` the sender's per-source
     sequence number.  ``(post_time, source, seq)`` is the deterministic
-    cross-rank ordering every ingestion batch is served in.
+    cross-rank ordering every ingestion batch is served in — the tuple's own
+    field order leads with exactly that triple.
     """
 
     post_time: float
@@ -125,6 +133,79 @@ class IngestRecord:
     def key(self) -> tuple[float, int, int]:
         """The deterministic ingestion-service order of this message."""
         return (self.post_time, self.source, self.seq)
+
+
+#: Columnar layout of the bounded reservation ledger: one struct per message,
+#: ~40 B, versus a boxed ``LinkRecord`` dataclass plus five boxed fields.
+_LEDGER_DTYPE = np.dtype(
+    [
+        ("source", np.int64),
+        ("dest", np.int64),
+        ("start", np.float64),
+        ("arrival", np.float64),
+        ("nbytes", np.int64),
+    ]
+)
+
+
+class _LedgerRing:
+    """A fixed-capacity numpy struct-array ring of link reservations.
+
+    Appends overwrite the oldest slot in O(1); queries run vectorised over
+    the resident window.  Peak residency is therefore ``capacity`` structs,
+    however many messages the simulation posts — the compact replacement for
+    the old per-message ``deque`` of frozen dataclasses.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, int(capacity))
+        self._rows = np.zeros(self.capacity, dtype=_LEDGER_DTYPE)
+        self._next = 0
+        self._count = 0
+
+    def append(self, source: int, dest: int, start: float, arrival: float, nbytes: int) -> None:
+        """Write one reservation, overwriting the oldest beyond capacity."""
+        self._rows[self._next] = (source, dest, start, arrival, nbytes)
+        nxt = self._next + 1
+        self._next = 0 if nxt == self.capacity else nxt
+        if self._count < self.capacity:
+            self._count += 1
+
+    def _window(self) -> np.ndarray:
+        """The resident rows, oldest first (a copy only when wrapped)."""
+        if self._count < self.capacity:
+            return self._rows[: self._count]
+        return np.roll(self._rows, -self._next)
+
+    def in_flight(self, at: float, source: int | None = None) -> int:
+        """Messages occupying the wire at virtual time ``at`` (vectorised)."""
+        rows = self._rows[: self._count]
+        mask = (rows["start"] <= at) & (at < rows["arrival"])
+        if source is not None:
+            mask &= rows["source"] == source
+        return int(np.count_nonzero(mask))
+
+    def records(self, source: int | None = None) -> list[LinkRecord]:
+        """Row views of the resident window, oldest first."""
+        return [
+            LinkRecord(int(r["source"]), int(r["dest"]), float(r["start"]),
+                       float(r["arrival"]), int(r["nbytes"]))
+            for r in self._window()
+            if source is None or int(r["source"]) == source
+        ]
+
+    def clear(self) -> None:
+        """Forget every resident row."""
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def nbytes(self) -> int:
+        """Resident size of the backing array in bytes."""
+        return int(self._rows.nbytes)
 
 
 class NicTimeline:
@@ -160,7 +241,8 @@ class NicTimeline:
         #: Posted-but-not-yet-ingested messages per destination (advisory:
         #: consumed at ingest time, pruned once drained, bounded).
         self._pending: dict[int, dict[tuple[float, int, int], IngestRecord]] = {}
-        self._ledger: deque[LinkRecord] = deque(maxlen=ledger_limit or 1)
+        self._pending_total = 0
+        self._ledger = _LedgerRing(ledger_limit or 1)
         self._lock = threading.Lock()
         self.reservations = 0
         self.stalls = 0
@@ -168,6 +250,10 @@ class NicTimeline:
         self.ingests = 0
         self.ingest_stalls = 0
         self.ingest_stalled_s = 0.0
+        #: High-water mark of advisory pending records resident at once —
+        #: with the bounded ring this is the timeline's whole variable-size
+        #: footprint, which ``bench_sim_throughput.py`` reports.
+        self.peak_pending = 0
 
     # ---------------------------------------------------------------- reserve
     def reserve(
@@ -211,8 +297,8 @@ class NicTimeline:
                 self.stalls += 1
                 self.stalled_s += stalled
             if self.ledger_limit:
-                # deque(maxlen=...) drops the oldest record in O(1).
-                self._ledger.append(LinkRecord(source, dest, start, arrival, int(nbytes)))
+                # The struct-array ring overwrites the oldest row in O(1).
+                self._ledger.append(source, dest, start, arrival, int(nbytes))
             if ingest and wire_s > 0 and self.pending_limit:
                 self._register_pending(
                     dest, IngestRecord(start, source, seq, wire_s, arrival)
@@ -235,11 +321,16 @@ class NicTimeline:
     def _register_pending(self, dest: int, record: IngestRecord) -> None:
         """Track one posted arrival on the (bounded) advisory ledger."""
         pending = self._pending.setdefault(dest, {})
+        if record.key not in pending:
+            self._pending_total += 1
         pending[record.key] = record
         if len(pending) > self.pending_limit:
             # Drop the earliest-keyed record: it drains first, so losing it
             # only makes the (advisory) backlog estimate conservative.
             del pending[min(pending)]
+            self._pending_total -= 1
+        if self._pending_total > self.peak_pending:
+            self.peak_pending = self._pending_total
 
     # ----------------------------------------------------------------- ingest
     def ingest(self, dest: int, records: Sequence[IngestRecord]) -> list[float]:
@@ -273,7 +364,8 @@ class NicTimeline:
                     self.ingest_stalls += 1
                     self.ingest_stalled_s += stalled
                 landings[record.key] = landing
-                self._pending.get(dest, {}).pop(record.key, None)
+                if self._pending.get(dest, {}).pop(record.key, None) is not None:
+                    self._pending_total -= 1
             self._ingest_ports[dest] = port
             # Receiver-program-order housekeeping (the only deterministic
             # place to prune): pending records that would have fully drained
@@ -289,6 +381,7 @@ class NicTimeline:
                 ]
                 for key in stale:
                     del pending[key]
+                self._pending_total -= len(stale)
         return [landings[record.key] for record in records]
 
     def ingest_preview(self, dest: int, arrival: float, wire_s: float) -> float:
@@ -360,17 +453,22 @@ class NicTimeline:
     def in_flight(self, at: float, *, source: int | None = None) -> int:
         """Ledger query: messages occupying the wire at virtual time ``at``."""
         with self._lock:
-            return sum(
-                1
-                for record in self._ledger
-                if record.start <= at < record.arrival
-                and (source is None or record.source == source)
-            )
+            return self._ledger.in_flight(at, source)
 
     def ledger(self, *, source: int | None = None) -> list[LinkRecord]:
-        """A snapshot of the (bounded) reservation ledger."""
+        """A snapshot of the (bounded) reservation ledger, oldest first."""
         with self._lock:
-            return [r for r in self._ledger if source is None or r.source == source]
+            return self._ledger.records(source)
+
+    def ledger_len(self) -> int:
+        """Resident ledger rows (bounded by ``ledger_limit``)."""
+        with self._lock:
+            return len(self._ledger)
+
+    def ledger_nbytes(self) -> int:
+        """Resident bytes of the ledger's backing struct-array ring."""
+        with self._lock:
+            return self._ledger.nbytes
 
     # -------------------------------------------------------------- lifecycle
     def reset(self) -> None:
@@ -381,6 +479,7 @@ class NicTimeline:
             self._ingest_ports.clear()
             self._seqs.clear()
             self._pending.clear()
+            self._pending_total = 0
             self._ledger.clear()
             self.reservations = 0
             self.stalls = 0
@@ -388,6 +487,7 @@ class NicTimeline:
             self.ingests = 0
             self.ingest_stalls = 0
             self.ingest_stalled_s = 0.0
+            self.peak_pending = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         """Summarise port/link/counter state for debugging."""

@@ -55,6 +55,7 @@ class ResourceCache:
         self._pool = MemoryPool()
         self._streams: list[Stream] = []
         self._queries: dict[Hashable, object] = {}
+        self._query_keys: set[Hashable] = set()
         self._persistent: dict[Hashable, Buffer] = {}
 
     # ---------------------------------------------------------------- buffers
@@ -131,11 +132,28 @@ class ResourceCache:
             self._queries[key] = value
         return value
 
+    def note_query(self, key: Hashable) -> bool:
+        """Record that ``key`` was queried; True if it was seen before.
+
+        The selection-memo-off path uses this to keep the *charge schedule*
+        of :meth:`memoize` (first query cold, repeats at the cached-query
+        cost) while discarding the memoised value itself, so ablations price
+        identically to the memoised path.
+        """
+        if self.enabled and key in self._query_keys:
+            self.stats.query_hits += 1
+            return True
+        self.stats.query_misses += 1
+        if self.enabled:
+            self._query_keys.add(key)
+        return False
+
     def clear(self) -> None:
         """Drop everything (between benchmark configurations)."""
         self._pool.clear()
         self._streams.clear()
         self._queries.clear()
+        self._query_keys.clear()
         self._persistent.clear()
 
     def __len__(self) -> int:

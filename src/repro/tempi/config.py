@@ -88,6 +88,22 @@ class TempiConfig:
     batch_max_messages: int = 8
     #: Reuse streams, intermediate buffers and model query results (Sec. 5).
     use_cache: bool = True
+    #: Reuse compiled :class:`~repro.tempi.plan.MessagePlan` templates for
+    #: repeated exchange shapes.  A hit skips argument validation and plan
+    #: construction but *replays* method selection call-for-call, so every
+    #: priced charge (model queries, interposition overhead) is identical to
+    #: a fresh compile — ``bench_sim_throughput.py`` measures what it buys.
+    plan_cache: bool = True
+    #: Most compiled plan templates retained per rank (LRU eviction).
+    plan_cache_size: int = 256
+    #: Memoise method-selection results for repeated ``(method, size, block)``
+    #: queries, including a bounded cache of quantized-backlog states for the
+    #: contended selector.  Disabling changes only *where* results come from,
+    #: never the charge schedule: a repeated query is priced at the cached
+    #: query cost whether or not the value is retained.
+    selection_memo: bool = True
+    #: Most contended-selection entries retained per rank (LRU eviction).
+    selection_memo_size: int = 1024
     #: Where the system-measurement file lives; None keeps it in memory only.
     measurement_path: Optional[Path] = None
     #: Overhead charged per model query when the result is not cached, and
@@ -109,6 +125,12 @@ class TempiConfig:
         if self.nic not in NIC_MODES:
             raise ValueError(
                 f"unknown nic mode {self.nic!r}; expected one of {NIC_MODES}"
+            )
+        if self.plan_cache_size < 1:
+            raise ValueError(f"plan_cache_size must be >= 1, got {self.plan_cache_size}")
+        if self.selection_memo_size < 1:
+            raise ValueError(
+                f"selection_memo_size must be >= 1, got {self.selection_memo_size}"
             )
         if self.selection == "fixed" and self.method is PackMethod.AUTO:
             raise ValueError(

@@ -124,6 +124,15 @@ class InterposerStats:
     #: Messages whose landing this rank's ingestion port delayed because
     #: earlier arrivals were still draining (duplex accounting only).
     ingest_stalls: int = 0
+    #: Typed collectives answered from / compiled into the plan cache
+    #: (counted only when ``TempiConfig.plan_cache`` consults it).
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: Method selections whose *value* came from the selection memo (with
+    #: ``selection_memo`` off every selection counts as a miss, even though
+    #: the charge schedule is unchanged).
+    selection_memo_hits: int = 0
+    selection_memo_misses: int = 0
     method_counts: dict = field(default_factory=dict)
 
     def __repr__(self) -> str:
@@ -140,6 +149,8 @@ class InterposerStats:
             f"deferred_unpacks={self.deferred_unpacks} "
             f"batched={self.batched_plans} stalls={self.contention_stalls} "
             f"ingest_stalls={self.ingest_stalls} "
+            f"plan_cache={self.plan_cache_hits}+{self.plan_cache_misses}miss "
+            f"selection_memo={self.selection_memo_hits}+{self.selection_memo_misses}miss "
             f"methods=[{methods_repr}])"
         )
 
@@ -225,7 +236,14 @@ class TempiCommunicator:
             clock=comm.clock,
             nic=self._engine.nic,
             rank=comm.rank,
+            stats=self.tempi.stats,
         )
+        #: Compiled-plan templates for repeated typed-collective shapes,
+        #: owned per communicator (so keys never need to name the selector,
+        #: config or communicator — all three are fixed here) and consulted
+        #: only under ``config.plan_cache``.  ``plan_cache.clear()`` is the
+        #: explicit invalidation hook.
+        self.plan_cache = _plan.PlanCache(config.plan_cache_size)
 
     #: Fall-through operations that can block on (or observe) other ranks'
     #: traffic.  They must flush the engine's deferred sends first: a system
@@ -573,6 +591,18 @@ class TempiCommunicator:
             return None
         send = as_buffer(sendbuf)
         recv = as_buffer(recvbuf)
+        key = retained = None
+        if self.config.plan_cache:
+            key, retained = self._plan_cache_key(
+                "allgather", range(comm.size), send, [sendcount], [0], sendtype,
+                recv, recvcounts, recvdispls, recvtypes, nonblocking,
+            )
+        if key is not None:
+            template = self.plan_cache.get(key)
+            if template is not None:
+                self.tempi.stats.plan_cache_hits += 1
+                return self._executor.execute(self._plan_from_template(template, send, recv))
+            self.tempi.stats.plan_cache_misses += 1
         send_plan = self._collective_sections(
             send, [comm.rank], [sendcount], [0], sendtype, "send"
         )
@@ -607,6 +637,7 @@ class TempiCommunicator:
             handler.uses += 1
         self._charge_interposition_overhead()
         self.tempi.stats.collective_hits += 1
+        recording = _plan.RecordingSelector(self._selector) if key is not None else None
         plan: MessagePlan = _plan.compile_allgather(
             comm.rank,
             comm.size,
@@ -614,13 +645,16 @@ class TempiCommunicator:
             send_section,
             recv,
             recv_sections,
-            self._selector,
+            recording if recording is not None else self._selector,
             nonblocking=nonblocking,
         )
-        for name, hits in plan.method_counts().items():
-            self.tempi.stats.method_counts[name] = (
-                self.tempi.stats.method_counts.get(name, 0) + hits
-            )
+        if recording is not None:
+            self.plan_cache.put(key, _plan.PlanTemplate.from_plan(
+                plan, recording,
+                handlers=send_handlers + recv_handlers,
+                retained=retained,
+            ))
+        self._count_methods(plan)
         return self._executor.execute(plan)
 
     def Allgather(
@@ -777,6 +811,173 @@ class TempiCommunicator:
             )
         return sections, handlers
 
+    # ------------------------------------------------------------- plan cache
+    @staticmethod
+    def _type_signature(types):
+        """Identity signature of one side's datatype argument, plus pins.
+
+        Datatypes are named by ``id(datatype), id(datatype.attachment)`` —
+        the attachment is replaced at every ``Type_commit``, so re-committing
+        a datatype (new handler, new packer) changes the signature and misses
+        the cache.  Returns ``(signature, retained)`` where ``retained``
+        strongly references every object the signature names, or
+        ``(None, ())`` for arguments the cache should not describe.
+        """
+        if isinstance(types, Datatype):
+            return ("uniform", id(types), id(types.attachment)), (types, types.attachment)
+        try:
+            seq = list(types)
+        except TypeError:
+            return None, ()
+        if not all(isinstance(t, Datatype) for t in seq):
+            return None, ()
+        signature = tuple((id(t), id(t.attachment)) for t in seq)
+        retained = tuple(seq) + tuple(t.attachment for t in seq)
+        return signature, retained
+
+    def _plan_cache_key(
+        self, op, peers, send, sendcounts, senddispls, sendtypes,
+        recv, recvcounts, recvdispls, recvtypes, nonblocking,
+    ):
+        """The canonical cache key of a typed collective, or ``None``.
+
+        Captures every input the fallback decision, validation and compile
+        depend on (the communicator, config and selector are fixed per
+        cache): operation, peer list, buffer size/residency, count and
+        displacement signatures, and datatype identities.  Anything read
+        *live* on a hit — resource-cache state, NIC backlog, the clock —
+        deliberately stays out.  ``None`` (unhashable or non-datatype
+        arguments) sends the call down the uncached path.
+        """
+        send_sig, send_retained = self._type_signature(sendtypes)
+        recv_sig, recv_retained = self._type_signature(recvtypes)
+        if send_sig is None or recv_sig is None:
+            return None, ()
+        try:
+            key = (
+                op,
+                bool(nonblocking),
+                tuple(peers),
+                send.nbytes, send.is_device,
+                recv.nbytes, recv.is_device,
+                tuple(sendcounts), tuple(senddispls), send_sig,
+                tuple(recvcounts), tuple(recvdispls), recv_sig,
+            )
+            hash(key)
+        except TypeError:
+            return None, ()
+        return key, send_retained + recv_retained
+
+    def _count_methods(self, plan: MessagePlan) -> None:
+        """Fold one plan's per-method message counts into the stats."""
+        for name, hits in plan.method_counts().items():
+            self.tempi.stats.method_counts[name] = (
+                self.tempi.stats.method_counts.get(name, 0) + hits
+            )
+
+    def _plan_from_template(self, template: _plan.PlanTemplate, send, recv) -> MessagePlan:
+        """Materialize a cached collective: same charges as a fresh compile.
+
+        Mirrors the uncached path step for step — handler-use accounting,
+        interposition overhead, then the selection transcript replayed
+        through the live selector (so every model-query charge lands on the
+        clock exactly as a recompile would charge it) — and materializes a
+        fresh plan around the retained stages.
+        """
+        for handler in template.handlers:
+            handler.uses += 1
+        self._charge_interposition_overhead()
+        self.tempi.stats.collective_hits += 1
+        plan = template.materialize(template.replay(self._selector), send, recv)
+        self._count_methods(plan)
+        return plan
+
+    def _compile_collective(
+        self,
+        op: str,
+        peers: Sequence[int],
+        sendbuf,
+        sendcounts,
+        senddispls,
+        sendtypes,
+        recvbuf,
+        recvcounts,
+        recvdispls,
+        recvtypes,
+        *,
+        nonblocking: bool,
+    ) -> Optional[MessagePlan]:
+        """Compile (or cache-hit) a typed collective to a plan, fully charged.
+
+        The front half of :meth:`_collective_request` — everything up to the
+        executable plan, with every clock charge and stats count applied —
+        split out so ``bench_sim_throughput.py`` can drive the compile/cache
+        pipeline without the executor.  Returns ``None`` when the call is not
+        TEMPI's business or must fall back (the caller then runs the system
+        path).  Under ``config.plan_cache`` a repeated shape skips validation
+        and compilation entirely (see :meth:`_plan_from_template`).
+        """
+        if sendtypes is None or recvtypes is None:
+            # The byte signature (or a half-specified typed one, which the
+            # system path rejects) is not TEMPI's business.
+            return None
+        if not (self.config.enabled and self.config.datatype_handling):
+            return None
+        send = as_buffer(sendbuf)
+        recv = as_buffer(recvbuf)
+        key = retained = None
+        if self.config.plan_cache:
+            key, retained = self._plan_cache_key(
+                op, peers, send, sendcounts, senddispls, sendtypes,
+                recv, recvcounts, recvdispls, recvtypes, nonblocking,
+            )
+        if key is not None:
+            template = self.plan_cache.get(key)
+            if template is not None:
+                self.tempi.stats.plan_cache_hits += 1
+                return self._plan_from_template(template, send, recv)
+            self.tempi.stats.plan_cache_misses += 1
+        send_plan = self._collective_sections(
+            send, peers, sendcounts, senddispls, sendtypes, "send"
+        )
+        recv_plan = (
+            self._collective_sections(recv, peers, recvcounts, recvdispls, recvtypes, "recv")
+            if send_plan is not None
+            else None
+        )
+        if send_plan is None or recv_plan is None:
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        send_sections, send_handlers = send_plan
+        recv_sections, recv_handlers = recv_plan
+        if not (send_sections or recv_sections):
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        # Both sides confirmed accelerable: only now count the handler uses.
+        for handler in send_handlers + recv_handlers:
+            handler.uses += 1
+        self._charge_interposition_overhead()
+        self.tempi.stats.collective_hits += 1
+        recording = _plan.RecordingSelector(self._selector) if key is not None else None
+        plan: MessagePlan = _plan.compile_exchange(
+            self._comm.rank,
+            send,
+            send_sections,
+            recv,
+            recv_sections,
+            recording if recording is not None else self._selector,
+            op=op,
+            nonblocking=nonblocking,
+        )
+        if recording is not None:
+            self.plan_cache.put(key, _plan.PlanTemplate.from_plan(
+                plan, recording,
+                handlers=send_handlers + recv_handlers,
+                retained=retained,
+            ))
+        self._count_methods(plan)
+        return plan
+
     def _collective_request(
         self,
         op: str,
@@ -799,49 +1000,12 @@ class TempiCommunicator:
         signature, interposition disabled) or must fall back (host buffers,
         unhandled datatypes) — the caller then runs the system path.
         """
-        if sendtypes is None or recvtypes is None:
-            # The byte signature (or a half-specified typed one, which the
-            # system path rejects) is not TEMPI's business.
-            return None
-        if not (self.config.enabled and self.config.datatype_handling):
-            return None
-        send = as_buffer(sendbuf)
-        recv = as_buffer(recvbuf)
-        send_plan = self._collective_sections(
-            send, peers, sendcounts, senddispls, sendtypes, "send"
+        plan = self._compile_collective(
+            op, peers, sendbuf, sendcounts, senddispls, sendtypes,
+            recvbuf, recvcounts, recvdispls, recvtypes, nonblocking=nonblocking,
         )
-        recv_plan = (
-            self._collective_sections(recv, peers, recvcounts, recvdispls, recvtypes, "recv")
-            if send_plan is not None
-            else None
-        )
-        if send_plan is None or recv_plan is None:
-            self.tempi.stats.collective_fallbacks += 1
+        if plan is None:
             return None
-        send_sections, send_handlers = send_plan
-        recv_sections, recv_handlers = recv_plan
-        if not (send_sections or recv_sections):
-            self.tempi.stats.collective_fallbacks += 1
-            return None
-        # Both sides confirmed accelerable: only now count the handler uses.
-        for handler in send_handlers + recv_handlers:
-            handler.uses += 1
-        self._charge_interposition_overhead()
-        self.tempi.stats.collective_hits += 1
-        plan: MessagePlan = _plan.compile_exchange(
-            self._comm.rank,
-            send,
-            send_sections,
-            recv,
-            recv_sections,
-            self._selector,
-            op=op,
-            nonblocking=nonblocking,
-        )
-        for name, hits in plan.method_counts().items():
-            self.tempi.stats.method_counts[name] = (
-                self.tempi.stats.method_counts.get(name, 0) + hits
-            )
         return self._executor.execute(plan)
 
     def Alltoallv(

@@ -24,10 +24,22 @@ The compilers here are pure: they validate, group sections per peer, and run
 the per-message method selection (through the caller's selector callback, so
 model-query overhead stays charged where the paper charges it).  No bytes
 move until the executor runs the plan.
+
+Because iterative applications repeat the same exchange shape thousands of
+times, this module also provides the plan-compilation cache of the
+event-driven core: a :class:`RecordingSelector` captures the selector calls
+a fresh compile makes, :class:`PlanTemplate` retains the compiled stages
+plus that selection transcript, and :class:`PlanCache` holds templates in a
+bounded LRU.  A cache hit *replays* the transcript through the live selector
+— same calls, same order, same charges — so priced results are bit-identical
+to a fresh compile, then materializes a new :class:`MessagePlan` around the
+retained stages (rebuilding any stage whose replayed method diverged, e.g.
+under shifting contended backlog).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable, Optional, Sequence
 
@@ -41,9 +53,12 @@ __all__ = [
     "MessagePlan",
     "MethodSelector",
     "PackStage",
+    "PlanCache",
     "PlanError",
     "PlanSection",
+    "PlanTemplate",
     "PostStage",
+    "RecordingSelector",
     "UnpackStage",
     "compile_allgather",
     "compile_bcast",
@@ -372,6 +387,184 @@ def compile_allgather(
         local=local,
         nonblocking=nonblocking,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Plan-compilation cache (the event-driven core's hot path)
+# --------------------------------------------------------------------------- #
+
+class RecordingSelector:
+    """Wraps a selector and records every call a compile makes.
+
+    The transcript — ``(packer, nbytes, peer)`` triples plus the returned
+    methods, in call order — is what a :class:`PlanTemplate` replays on a
+    cache hit, so hits charge the rank's clock selector-call-for-selector-call
+    identically to the fresh compile that produced the template.
+    """
+
+    def __init__(self, select: MethodSelector) -> None:
+        self._select = select
+        self.calls: list[tuple[Packer, int, Optional[int]]] = []
+        self.methods: list[PackMethod] = []
+
+    def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
+        """Delegate to the wrapped selector, recording the call."""
+        method = self._select(packer, nbytes, peer)
+        self.calls.append((packer, int(nbytes), peer))
+        self.methods.append(method)
+        return method
+
+
+@dataclass(frozen=True)
+class PlanTemplate:
+    """One compiled collective plan, retained for replay.
+
+    Holds the compile's stages (shared across materializations — the executor
+    only touches per-execution state on them), the selection transcript, and
+    strong references to everything the cache key names by ``id()`` so a
+    collected object can never alias a live key.  ``post_specs`` keeps post
+    stages as ``(peer, nbytes, pack_index)`` indices into ``pack_stages`` so
+    rebuilt pack stages re-link without object surgery.
+    """
+
+    op: str
+    nonblocking: bool
+    pack_stages: tuple[PackStage, ...]
+    unpack_stages: tuple[UnpackStage, ...]
+    post_specs: tuple[tuple[int, int, int], ...]
+    local: Optional[tuple[PackStage, UnpackStage]]
+    selections: tuple[tuple[Packer, int, Optional[int]], ...]
+    methods: tuple[PackMethod, ...]
+    #: Datatype handlers the interposer bumps ``uses`` on per call.
+    handlers: tuple = ()
+    #: Strong refs pinning every object the cache key names by ``id()``.
+    retained: tuple = ()
+
+    @classmethod
+    def from_plan(cls, plan: MessagePlan, recording: RecordingSelector,
+                  *, handlers=(), retained=()) -> "PlanTemplate":
+        """Capture a freshly compiled plan and its selection transcript."""
+        index = {id(stage): i for i, stage in enumerate(plan.pack_stages)}
+        return cls(
+            op=plan.op,
+            nonblocking=plan.nonblocking,
+            pack_stages=tuple(plan.pack_stages),
+            unpack_stages=tuple(plan.unpack_stages),
+            post_specs=tuple(
+                (post.peer, post.nbytes, index[id(post.pack)]) for post in plan.post_stages
+            ),
+            local=plan.local,
+            selections=tuple(recording.calls),
+            methods=tuple(recording.methods),
+            handlers=tuple(handlers),
+            retained=tuple(retained),
+        )
+
+    def replay(self, select: MethodSelector) -> list[PackMethod]:
+        """Re-run the recorded selector calls (same order, same charges)."""
+        return [select(packer, nbytes, peer) for packer, nbytes, peer in self.selections]
+
+    @staticmethod
+    def _rebind(stage, method: PackMethod):
+        """The stage with ``method`` swapped in (shared unless it changed)."""
+        if method is stage.method:
+            return stage
+        key = stage.staging_key
+        if key is not None:
+            key = key[:-1] + (staging_kind(method),)
+        return type(stage)(
+            peer=stage.peer,
+            sections=stage.sections,
+            method=method,
+            nbytes=stage.nbytes,
+            staging_key=key,
+        )
+
+    def materialize(
+        self,
+        methods: Sequence[PackMethod],
+        send_buffer: Optional[Buffer],
+        recv_buffer: Optional[Buffer],
+    ) -> MessagePlan:
+        """A fresh :class:`MessagePlan` around the retained stages.
+
+        ``methods`` is the replayed transcript; when it matches the recorded
+        one (the steady state) every stage is shared, otherwise the diverging
+        stages are rebuilt with their new method and staging kind.  The plan
+        object itself is always new — the executor stamps the collective
+        ``tag`` onto it, which must not leak across calls.
+        """
+        methods = tuple(methods)
+        if methods == self.methods:
+            packs: Sequence[PackStage] = self.pack_stages
+            unpacks: Sequence[UnpackStage] = self.unpack_stages
+        else:
+            npack = len(self.pack_stages)
+            packs = [
+                self._rebind(stage, method)
+                for stage, method in zip(self.pack_stages, methods[:npack])
+            ]
+            unpacks = [
+                self._rebind(stage, method)
+                for stage, method in zip(self.unpack_stages, methods[npack:])
+            ]
+        return MessagePlan(
+            op=self.op,
+            send_buffer=send_buffer,
+            recv_buffer=recv_buffer,
+            pack_stages=list(packs),
+            post_stages=[
+                PostStage(peer=peer, nbytes=nbytes, pack=packs[i])
+                for peer, nbytes, i in self.post_specs
+            ],
+            unpack_stages=list(unpacks),
+            local=self.local,
+            nonblocking=self.nonblocking,
+        )
+
+
+class PlanCache:
+    """A bounded LRU of :class:`PlanTemplate` entries (one per rank).
+
+    Owned by the per-rank :class:`~repro.tempi.interposer.Tempi` instance and
+    only ever touched from that rank's thread, so it carries no lock.  Keys
+    are built by the interposer from everything a compile depends on
+    (operation, selector identity, peer/count/displacement signatures,
+    datatype identities including their commit-time handlers); anything the
+    key does not capture — resource-cache state, NIC backlog — is replayed
+    live on every hit, so it never needs to be in the key.
+    ``clear()`` is the explicit invalidation hook.
+    """
+
+    def __init__(self, size: int = 256) -> None:
+        if size < 1:
+            raise PlanError(f"plan cache size must be >= 1, got {size}")
+        self.size = size
+        self._entries: "OrderedDict[Hashable, PlanTemplate]" = OrderedDict()
+
+    def get(self, key: Hashable) -> Optional[PlanTemplate]:
+        """The template for ``key`` (refreshing its LRU position), or None."""
+        template = self._entries.get(key)
+        if template is not None:
+            self._entries.move_to_end(key)
+        return template
+
+    def put(self, key: Hashable, template: PlanTemplate) -> None:
+        """Retain ``template``, evicting the least recently used beyond size."""
+        self._entries[key] = template
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.size:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every template (explicit invalidation)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
 
 
 def _group_sections(sections: Sequence[PlanSection]) -> dict[int, list[PlanSection]]:

@@ -53,7 +53,7 @@ forces the post.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import NamedTuple, Optional, Sequence
 
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
 from repro.machine.nic import IngestRecord, NicTimeline
@@ -67,13 +67,14 @@ from repro.tempi.plan import MessagePlan
 PROGRESS_MODES = ("shared", "per_plan")
 
 
-@dataclass(frozen=True)
-class WireSlot:
+class WireSlot(NamedTuple):
     """One reserved wire slot, with the identity its envelope must carry.
 
     ``seq >= 0`` marks a slot reserved on the shared timeline (and therefore
     subject to receive-side ingestion under duplex accounting); per-plan and
-    engine-less reservations carry ``seq == -1`` and opt out.
+    engine-less reservations carry ``seq == -1`` and opt out.  A
+    :class:`~typing.NamedTuple`: slots are minted once per posted message on
+    the hot path and carry no mutable state.
     """
 
     start: float
@@ -114,7 +115,7 @@ class PlanWindow:
         return WireSlot(start=start, arrival=start + wire_s, wire_s=wire_s, seq=-1)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingSend:
     """One enqueued sub-eager send plan: packed, awaiting its batch's post."""
 
@@ -128,7 +129,7 @@ class _PendingSend:
     completion: float
 
 
-@dataclass
+@dataclass(slots=True)
 class _Batch:
     """The pending small-send queue of one ``(peer, wire-path)`` pair.
 

@@ -53,6 +53,7 @@ nothing, so any staging kind is trivially correct and pricing primitives
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, Optional, Protocol, Union
@@ -239,11 +240,16 @@ class ModelSelector:
         cache=None,
         clock=None,
         config: Optional[TempiConfig] = None,
+        stats=None,
     ) -> None:
         self._model = model
         self.cache = cache
         self.clock = clock
         self.config = config if config is not None else TempiConfig()
+        #: Optional :class:`~repro.tempi.interposer.InterposerStats` whose
+        #: ``selection_memo_hits``/``selection_memo_misses`` counters this
+        #: selector bumps (a hit means the *value* came from the memo).
+        self.stats = stats
 
     @property
     def model(self) -> PerformanceModel:
@@ -253,13 +259,36 @@ class ModelSelector:
         return self._model
 
     # ------------------------------------------------------------- accounting
+    def _note_memo(self, hit: bool) -> None:
+        """Count a memo hit/miss on the interposer stats (when wired)."""
+        if self.stats is None:
+            return
+        if hit:
+            self.stats.selection_memo_hits += 1
+        else:
+            self.stats.selection_memo_misses += 1
+
     def _memoize(self, key, compute):
-        """Memoise a decision and charge the query overhead on the clock."""
+        """Memoise a decision and charge the query overhead on the clock.
+
+        With ``config.selection_memo`` off the value is recomputed on every
+        call, but the *charge schedule* is untouched: the resource cache
+        still remembers which keys were queried (:meth:`ResourceCache.note_query`),
+        so a repeated query is priced at the cached-query cost either way and
+        the knob can never move a priced result.
+        """
         if self.cache is None:
+            self._note_memo(False)
             return compute(), False
-        hits_before = self.cache.stats.query_hits
-        value = self.cache.memoize(key, compute)
-        return value, self.cache.stats.query_hits > hits_before
+        if self.config.selection_memo:
+            hits_before = self.cache.stats.query_hits
+            value = self.cache.memoize(key, compute)
+            cached = self.cache.stats.query_hits > hits_before
+            self._note_memo(cached)
+            return value, cached
+        cached = self.cache.note_query(key)
+        self._note_memo(False)
+        return compute(), cached
 
     def _charge(self, cached: bool) -> None:
         """Advance the rank's clock by the (cached or cold) query cost."""
@@ -324,12 +353,20 @@ class ContendedSelector(ModelSelector):
         cache=None,
         clock=None,
         config: Optional[TempiConfig] = None,
+        stats=None,
     ) -> None:
-        super().__init__(model, cache=cache, clock=clock, config=config)
+        super().__init__(model, cache=cache, clock=clock, config=config, stats=stats)
         if nic is None:
             raise SelectionError("a contended selector needs the shared NIC timeline")
         self.nic = nic
         self.rank = rank
+        #: Bounded LRU over quantized-backlog selection keys.  Unlike the
+        #: unbounded resource-cache memo a long contended run cannot grow one
+        #: entry per observed queue depth; ``config.selection_memo_size``
+        #: bounds residency.  With ``selection_memo`` off only the *keys* are
+        #: retained (values recomputed), keeping the charge schedule — and
+        #: the eviction order — identical in both modes.
+        self._memo: OrderedDict = OrderedDict()
 
     @staticmethod
     def _quantise(raw: float) -> float:
@@ -366,6 +403,41 @@ class ContendedSelector(ModelSelector):
             return 0.0
         return self._quantise(self.nic.ingest_backlog(peer, self._now))
 
+    def _contended_memoize(self, key, compute):
+        """Bounded-LRU memoisation with a knob-independent charge schedule.
+
+        Mirrors the resource cache's ``query_hits``/``query_misses`` counters
+        (and its ``use_cache=False`` always-cold semantics) so existing
+        ablation accounting is unchanged; eviction follows strict LRU order
+        with ``config.selection_memo_size`` entries.  With ``selection_memo``
+        off the key is tracked but the value discarded, so repeats charge the
+        cached-query cost in both modes while the decision is recomputed.
+        """
+        if self.cache is None:
+            self._note_memo(False)
+            return compute(), False
+        stats = self.cache.stats
+        if not self.cache.enabled:
+            stats.query_misses += 1
+            self._note_memo(False)
+            return compute(), False
+        remember = self.config.selection_memo
+        if key in self._memo:
+            self._memo.move_to_end(key)
+            stats.query_hits += 1
+            if remember:
+                self._note_memo(True)
+                return self._memo[key], True
+            self._note_memo(False)
+            return compute(), True
+        stats.query_misses += 1
+        self._note_memo(False)
+        value = compute()
+        self._memo[key] = value if remember else None
+        while len(self._memo) > self.config.selection_memo_size:
+            self._memo.popitem(last=False)
+        return value, False
+
     def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
         """Select under live NIC backlog (identical to the model path at idle)."""
         if nbytes <= 0:
@@ -376,7 +448,7 @@ class ContendedSelector(ModelSelector):
         if backlog <= 0.0 and link <= 0.0 and ingest <= 0.0:
             return super().__call__(packer, nbytes)
         block_length = packer.block.block_length
-        method, cached = self._memoize(
+        method, cached = self._contended_memoize(
             (
                 "method-contended",
                 int(nbytes),
@@ -406,6 +478,7 @@ def make_selector(
     clock=None,
     nic: Optional[NicTimeline] = None,
     rank: int = 0,
+    stats=None,
 ) -> MethodSelector:
     """Build the selector ``config`` asks for (the interposer's factory).
 
@@ -423,8 +496,10 @@ def make_selector(
     if config.selection == "fixed":
         raise SelectionError("selection='fixed' needs a concrete config.method")
     if config.selection == "contended" and nic is not None:
-        return ContendedSelector(model, nic, rank, cache=cache, clock=clock, config=config)
-    return ModelSelector(model, cache=cache, clock=clock, config=config)
+        return ContendedSelector(
+            model, nic, rank, cache=cache, clock=clock, config=config, stats=stats
+        )
+    return ModelSelector(model, cache=cache, clock=clock, config=config, stats=stats)
 
 
 # --------------------------------------------------------------------------- #

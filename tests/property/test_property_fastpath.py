@@ -1,0 +1,152 @@
+"""Property-based test: the fast-path caches can never move a priced result.
+
+The plan cache replays the recorded selection transcript through the live
+selector and the selection memo preserves the cached-query charge schedule,
+so for *any* typed exchange, any round count and any cache configuration —
+everything on, plan cache off, selection memo off, everything off — the
+bytes delivered to every receive buffer AND every rank's virtual completion
+time must be exactly identical.  A divergence in either means a cache
+leaked into the priced simulation, the one thing the fast path must never
+do.
+
+Driven single-threaded (every rank posts its ``Ialltoallv``, then every
+rank waits, in rank order) so the shared-NIC interleaving is deterministic
+and clock equality is meaningful.  The incast case aims every rank at one
+hot receiver under ``selection="contended"`` + ``nic="duplex"``, the
+configuration where memoised decisions fold live backlog in — the bounded
+contended memo must key on that backlog, not hide it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mpi.constructors import Type_vector
+from repro.mpi.datatype import BYTE
+from repro.mpi.world import World
+from repro.tempi.config import TempiConfig
+from repro.tempi.interposer import interpose
+
+#: Every cache configuration the knobs can express.
+CONFIG_GRID = (
+    {"plan_cache": True, "selection_memo": True},
+    {"plan_cache": False, "selection_memo": True},
+    {"plan_cache": True, "selection_memo": False},
+    {"plan_cache": False, "selection_memo": False},
+)
+
+
+@st.composite
+def exchange_cases(draw):
+    """A world size, vector shape, consistent count matrix and round count."""
+    nranks = draw(st.integers(min_value=2, max_value=4))
+    nblocks = draw(st.integers(min_value=1, max_value=5))
+    block = draw(st.integers(min_value=1, max_value=8))
+    gap = draw(st.integers(min_value=0, max_value=8))  # gap 0: contiguous fallback
+    counts = draw(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=2), min_size=nranks, max_size=nranks),
+            min_size=nranks,
+            max_size=nranks,
+        )
+    )
+    rounds = draw(st.integers(min_value=2, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return nranks, nblocks, block, block + gap, counts, rounds, seed
+
+
+def _drive(config, summit_model, nranks, nblocks, block, pitch, counts, rounds, seed):
+    """Run ``rounds`` identical-shape exchanges inline; bytes + clocks per rank."""
+    world = World(nranks, ranks_per_node=2)
+    setup = []
+    for ctx in world.contexts:
+        comm = interpose(ctx, config, model=summit_model)
+        datatype = comm.Type_commit(Type_vector(nblocks, block, pitch, BYTE))
+        extent = datatype.extent
+        sendcounts = counts[ctx.rank]
+        recvcounts = [counts[peer][ctx.rank] for peer in range(nranks)]
+        senddispls = list(np.cumsum([0] + [c * extent for c in sendcounts[:-1]]).astype(int))
+        recvdispls = list(np.cumsum([0] + [c * extent for c in recvcounts[:-1]]).astype(int))
+        send = ctx.gpu.malloc(max(1, sum(sendcounts) * extent))
+        recv = ctx.gpu.malloc(max(1, sum(recvcounts) * extent))
+        setup.append((ctx, comm, datatype, sendcounts, senddispls,
+                      recvcounts, recvdispls, send, recv))
+    for round_index in range(rounds):
+        # Fresh payload every round: a cached plan must deliver live bytes.
+        for entry in setup:
+            ctx, send = entry[0], entry[7]
+            rng = np.random.default_rng(seed + 7919 * round_index + ctx.rank)
+            send.data[:] = rng.integers(0, 255, send.nbytes, dtype=np.uint8)
+        requests = []
+        for (ctx, comm, datatype, sendcounts, senddispls,
+             recvcounts, recvdispls, send, recv) in setup:
+            requests.append(comm.Ialltoallv(
+                send, sendcounts, senddispls,
+                recv, recvcounts, recvdispls,
+                sendtypes=datatype, recvtypes=datatype,
+            ))
+        for request in requests:
+            request.Wait()
+    plan_cache_hits = sum(entry[1].tempi.stats.plan_cache_hits for entry in setup)
+    return [(entry[8].data.copy(), entry[0].clock.now) for entry in setup], plan_cache_hits
+
+
+def _assert_identical(reference, candidate, label):
+    for rank, ((ref_bytes, ref_clock), (got_bytes, got_clock)) in enumerate(
+        zip(reference, candidate)
+    ):
+        assert np.array_equal(ref_bytes, got_bytes), (
+            f"rank {rank}: delivered bytes diverge with {label}"
+        )
+        assert ref_clock == got_clock, (
+            f"rank {rank}: completion time diverges with {label} "
+            f"({ref_clock!r} != {got_clock!r})"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(exchange_cases())
+def test_caches_never_move_bytes_or_clocks(summit_model, case):
+    nranks, nblocks, block, pitch, counts, rounds, seed = case
+    reference = None
+    for overrides in CONFIG_GRID:
+        config = TempiConfig(**overrides)
+        outcome, plan_cache_hits = _drive(config, summit_model, nranks, nblocks,
+                                          block, pitch, counts, rounds, seed)
+        strided = nblocks > 1 and pitch > block  # else canonicalized contiguous
+        cross_rank = any(
+            count for rank, row in enumerate(counts)
+            for peer, count in enumerate(row) if peer != rank
+        )
+        if overrides["plan_cache"] and strided and cross_rank:
+            # The repeated-shape rounds must actually exercise the fast path
+            # (contiguous vectors fall back and never reach the plan cache).
+            assert plan_cache_hits > 0, "plan cache never hit on a repeated shape"
+        if not overrides["plan_cache"]:
+            assert plan_cache_hits == 0, "plan cache hit while disabled"
+        if reference is None:
+            reference = outcome
+            continue
+        _assert_identical(reference, outcome, f"TempiConfig(**{overrides})")
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nranks=st.integers(min_value=3, max_value=4),
+    messages=st.integers(min_value=1, max_value=2),
+    rounds=st.integers(min_value=2, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_duplex_incast_caches_never_move_results(summit_model, nranks, messages, rounds, seed):
+    """Everyone aims at rank 0 under contended selection + duplex NIC."""
+    counts = [[messages if peer == 0 and rank != 0 else 0 for peer in range(nranks)]
+              for rank in range(nranks)]
+    reference = None
+    for overrides in CONFIG_GRID:
+        config = TempiConfig(selection="contended", nic="duplex", **overrides)
+        outcome, _ = _drive(config, summit_model, nranks, 4, 8, 24, counts, rounds, seed)
+        if reference is None:
+            reference = outcome
+            continue
+        _assert_identical(reference, outcome, f"incast TempiConfig(**{overrides})")

@@ -1,0 +1,45 @@
+"""Golden replay: the figure benchmarks price bit-identically, forever.
+
+``tests/fixtures/golden_figures.json`` freezes small sweeps of the Fig. 9
+burst selection, the Fig. 14 overlap latencies and the Fig. 15 contention
+efficiency (see ``tools/make_golden_fixtures.py``).  This tier-1 test
+reruns the exact same sweeps and compares under **exact equality** — the
+simulated figures are pure virtual-clock arithmetic, so even a one-ulp
+drift means a change leaked into the priced model.  The fast-path caches
+in particular must be invisible here.
+
+If a figure value moved *deliberately*, regenerate the fixture with
+``PYTHONPATH=src python tools/make_golden_fixtures.py`` and commit it with
+the change that moved it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOLS = REPO / "tools"
+FIXTURE = REPO / "tests" / "fixtures" / "golden_figures.json"
+
+
+def _build_fixture(summit_model) -> dict:
+    sys.path.insert(0, str(TOOLS))
+    try:
+        import make_golden_fixtures as golden
+    finally:
+        sys.path.remove(str(TOOLS))
+    return golden.build_fixture(summit_model)
+
+
+def test_golden_figures_replay_exactly(summit_model):
+    committed = json.loads(FIXTURE.read_text())
+    # The JSON round-trip canonicalizes types (tuples to lists, keys to
+    # strings); float round-trip is exact, so equality stays bit-level.
+    fresh = json.loads(json.dumps(_build_fixture(summit_model)))
+    assert fresh == committed, (
+        "figure benchmarks no longer replay the committed golden fixture; "
+        "if the change is deliberate, regenerate with "
+        "`PYTHONPATH=src python tools/make_golden_fixtures.py`"
+    )

@@ -1,0 +1,87 @@
+"""Regenerate the golden-figure regression fixtures.
+
+The figure benchmarks are deterministic: simulated latencies derive from
+virtual clocks and the shared NIC's arithmetic, never from wall-clock or
+thread timing.  This script freezes small sweeps of three of them —
+``bench_fig9_selection`` (burst selection), ``bench_fig14_overlap``
+(overlap latencies) and ``bench_fig15_contention`` (concurrent-plan
+contention) — into ``tests/fixtures/golden_figures.json``, and
+``tests/test_golden_figures.py`` replays them under exact equality every
+tier-1 run.  Any change that moves a priced figure value — however small —
+fails the replay and must either be a bug or come with a deliberate
+fixture regeneration:
+
+    PYTHONPATH=src python tools/make_golden_fixtures.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCHMARKS = REPO / "benchmarks"
+FIXTURE = REPO / "tests" / "fixtures" / "golden_figures.json"
+
+#: Small, fast sweep points — regression canaries, not the full figures.
+FIG9_SIZES = (4096, 262144)
+FIG9_BLOCKS = (8, 512)
+FIG9_LOADS = (0, 4)
+FIG9_BURSTS = (0, 2)
+FIG14_RANKS = (2, 4)
+FIG15_PLANS = (1, 2)
+
+
+def build_fixture(model) -> dict:
+    """Run the pinned sweeps and shape them into a JSON-native document."""
+    sys.path.insert(0, str(BENCHMARKS))
+    try:
+        import bench_fig9_selection as fig9
+        import bench_fig14_overlap as fig14
+        import bench_fig15_contention as fig15
+    finally:
+        sys.path.remove(str(BENCHMARKS))
+
+    grid = fig9.run_grid(model, FIG9_SIZES, FIG9_BLOCKS, FIG9_LOADS)
+    bursts = fig9.run_bursts(FIG9_BURSTS, model)
+    overlap = {
+        str(nranks): {
+            "serial": fig14._exchange_latency(nranks, model, mode="neighbor", overlap=False),
+            "overlapped": fig14._exchange_latency(nranks, model, mode="neighbor", overlap=True),
+            "packed": fig14._exchange_latency(nranks, model, mode="packed", overlap=True),
+            "nonblocking": fig14._exchange_latency(nranks, model, mode="overlap", overlap=True),
+        }
+        for nranks in FIG14_RANKS
+    }
+    contention = fig15.run_sweep(FIG15_PLANS, model)
+
+    return {
+        "schema": 1,
+        "fig9": {
+            "grid": {
+                f"{size}x{block}": {str(load): method for load, method in cell.items()}
+                for (size, block), cell in grid.items()
+            },
+            "bursts": {str(background): row for background, row in bursts.items()},
+        },
+        "fig14": overlap,
+        "fig15": {str(plans): row for plans, row in contention.items()},
+    }
+
+
+def main() -> int:
+    from repro.machine.spec import SUMMIT
+    from repro.tempi.measurement import measure_system
+    from repro.tempi.perf_model import PerformanceModel
+
+    model = PerformanceModel(measure_system(SUMMIT))
+    fixture = build_fixture(model)
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE.relative_to(REPO)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
