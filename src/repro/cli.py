@@ -27,6 +27,20 @@ used while studying the model:
     injection-only ablation).  Under load each cell is annotated with the
     term that bound it: ``/pak`` (its own pack kernel), ``/inj`` (injection
     port), ``/lnk`` (link) or ``/ing`` (ingestion port).
+
+``python -m repro.cli lint``
+    Run the static determinism lint (:mod:`tools.analyze`) over the source
+    tree: wall-clock/randomness on priced paths, mutation reachable from
+    selection pricing, unordered iteration feeding clock arithmetic,
+    undocumented knobs/counters, raw float accumulation in the NIC ledgers.
+    Nonzero exit on any finding.
+
+``python -m repro.cli sanitize``
+    Replay the fig9/fig14/fig15/incast benchmarks (``--smoke`` subsets, or
+    ``--full``) under the runtime clock sanitizer
+    (:mod:`repro.tempi.sanitizer`): vector clocks over NIC commits, cross-rank
+    backlog reads audited for a happens-before edge, port monotonicity, and
+    pricing-purity checksums.  Nonzero exit on any violation.
 """
 
 from __future__ import annotations
@@ -90,6 +104,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="object sizes in bytes (default: 256 B to 4 MiB, powers of two)")
     table.add_argument("--blocks", type=int, nargs="*", default=None,
                        help="contiguous block lengths in bytes (default: the Fig. 10 sweep)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the simulator's static determinism lint (tools/analyze)",
+    )
+    lint.add_argument("--select", nargs="*", default=None, metavar="SIMxxx",
+                      help="only run these rule codes (default: all rules)")
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="replay the figure benchmarks under the runtime clock sanitizer",
+    )
+    sanitize.add_argument("--full", action="store_true",
+                          help="full benchmark sweeps instead of the --smoke subsets")
 
     bench = sub.add_parser("bench", help="benchmarks of the simulator itself")
     bench_sub = bench.add_subparsers(dest="bench_command", required=True)
@@ -216,6 +244,113 @@ def _cmd_select_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _repo_root() -> Optional[Path]:
+    """The repository checkout this package was imported from, if any.
+
+    ``repro`` lives at ``<root>/src/repro``; the lint tool and the figure
+    benchmarks live beside ``src`` at ``<root>/tools`` and
+    ``<root>/benchmarks``.  An installed copy of the package has neither, in
+    which case the source-tree commands (``lint``, ``sanitize``) refuse.
+    """
+    root = Path(__file__).resolve().parents[2]
+    if (root / "tools" / "analyze" / "__init__.py").exists():
+        return root
+    return None
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    root = _repo_root()
+    if root is None:
+        print("error: 'repro lint' needs the source checkout (tools/analyze not found)",
+              file=sys.stderr)
+        return 2
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.analyze.cli import main as lint_main
+
+    argv = ["--root", str(root)]
+    if args.select:
+        argv.append("--select")
+        argv.extend(args.select)
+    return lint_main(argv)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import importlib.util
+
+    from repro.tempi.config import sanitize_default
+    from repro.tempi.sanitizer import ClockSanitizer
+
+    root = _repo_root()
+    if root is None:
+        print("error: 'repro sanitize' needs the source checkout (benchmarks/ not found)",
+              file=sys.stderr)
+        return 2
+    bench_dir = root / "benchmarks"
+
+    def load_bench(filename: str):
+        path = bench_dir / filename
+        spec = importlib.util.spec_from_file_location(f"_sanitized_{path.stem}", path)
+        assert spec is not None and spec.loader is not None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def report(name: str, failures: list[str]) -> None:
+        counters = ClockSanitizer.aggregate_counters()
+        print(f"   sanitizer: posts={counters['posts']} ingests={counters['ingests']} "
+              f"joins={counters['joins']} hb_checks={counters['hb_checks']} "
+              f"purity_checks={counters['purity_checks']} "
+              f"violations={counters['violations']}")
+        if counters["violations"]:
+            failures.append(f"{name}: {counters['violations']} recorded violation(s)")
+        if counters["posts"] == 0:
+            failures.append(f"{name}: sanitizer observed no NIC traffic (vacuous replay)")
+
+    failures: list[str] = []
+    label = "full" if args.full else "--smoke"
+    # The ambient default makes every TempiConfig the benchmarks construct a
+    # sanitized one; priced results are unchanged (the recorder only observes),
+    # so each bench's own internal checks still validate the real numbers.
+    with sanitize_default(True):
+        for name in ("bench_fig9_selection.py", "bench_fig15_contention.py",
+                     "bench_incast.py"):
+            ClockSanitizer.reset_aggregate()
+            print(f"== sanitized replay: {name} ({label})")
+            try:
+                module = load_bench(name)
+                code = module.main([] if args.full else ["--smoke"])
+            except Exception as exc:  # noqa: BLE001 - any failure fails the replay
+                failures.append(f"{name}: {type(exc).__name__}: {exc}")
+                print(f"   FAILED: {type(exc).__name__}: {exc}", file=sys.stderr)
+                continue
+            if code != 0:
+                failures.append(f"{name}: exit code {code}")
+            report(name, failures)
+        # fig14 has no standalone entry point; drive its exchange helper over
+        # the serial and overlapped engines directly.
+        ClockSanitizer.reset_aggregate()
+        print("== sanitized replay: bench_fig14_overlap.py (exchange sweep)")
+        try:
+            module = load_bench("bench_fig14_overlap.py")
+            model = _load_model(None)
+            for mode, overlap in (("neighbor", False), ("neighbor", True),
+                                  ("overlap", True)):
+                module._exchange_latency(4, model, mode=mode, overlap=overlap)
+        except Exception as exc:  # noqa: BLE001 - any failure fails the replay
+            failures.append(f"bench_fig14_overlap.py: {type(exc).__name__}: {exc}")
+            print(f"   FAILED: {type(exc).__name__}: {exc}", file=sys.stderr)
+        else:
+            report("bench_fig14_overlap.py", failures)
+    if failures:
+        print(f"sanitize: {len(failures)} failure(s)", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("sanitize: all benchmark replays clean")
+    return 0
+
+
 def _cmd_bench_sim(args: argparse.Namespace) -> int:
     import json
 
@@ -264,6 +399,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_halo(args)
     if args.command == "select-table":
         return _cmd_select_table(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
+    if args.command == "sanitize":
+        return _cmd_sanitize(args)
     if args.command == "bench":
         if args.bench_command == "sim-throughput":
             return _cmd_bench_sim(args)

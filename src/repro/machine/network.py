@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.machine.spec import SUMMIT, MachineSpec
+from repro.machine.spec import SUMMIT, InterconnectSpec, MachineSpec
 from repro.machine.topology import Topology
 
 
@@ -65,7 +65,7 @@ class NetworkModel:
             return TransferPath.INTRA_GPU if device_buffers else TransferPath.INTRA_CPU
         return TransferPath.INTER_GPU if device_buffers else TransferPath.INTER_CPU
 
-    def _interconnect(self, path: TransferPath):
+    def _interconnect(self, path: TransferPath) -> InterconnectSpec:
         node = self.machine.node
         if path is TransferPath.INTRA_CPU:
             return node.intra_cpu

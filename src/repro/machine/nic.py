@@ -61,7 +61,7 @@ accounting, bit-for-bit).
 from __future__ import annotations
 
 import threading
-from typing import NamedTuple, Sequence
+from typing import Iterable, NamedTuple, Optional, Sequence
 
 import numpy as np
 
@@ -70,6 +70,23 @@ from repro.machine.network import DEFAULT_WIRE_OVERLAP
 
 class NicError(ValueError):
     """An impossible reservation was requested."""
+
+
+def ledger_sum(values: Iterable[float], start: float = 0.0) -> float:
+    """Fold ``values`` onto ``start``, strictly in the order supplied.
+
+    The ledger helper simlint's SIM005 points at: float addition is not
+    associative, so every accumulator total in the ledger/port loops is
+    defined as a strict left fold over an *explicitly ordered* sequence.
+    This performs the same adds in the same order as an open-coded
+    ``total += value`` loop (bit-identical), but keeps the fold in one
+    audited place so a future "optimisation" (``math.fsum``, vectorised
+    reduction, reordering) cannot silently change priced totals.
+    """
+    total = start
+    for value in values:
+        total += value
+    return total
 
 
 class NicReservation(NamedTuple):
@@ -349,6 +366,7 @@ class NicTimeline:
         landings = {record.key: record.arrival for record in records}
         with self._lock:
             port = self._ingest_ports.get(dest, 0.0)
+            stalls: list[float] = []
             for record in sorted(
                 (r for r in records if r.wire_s > 0), key=lambda r: r.key
             ):
@@ -362,10 +380,13 @@ class NicTimeline:
                 stalled = landing - record.arrival
                 if stalled > 0:
                     self.ingest_stalls += 1
-                    self.ingest_stalled_s += stalled
+                    stalls.append(stalled)
                 landings[record.key] = landing
                 if self._pending.get(dest, {}).pop(record.key, None) is not None:
                     self._pending_total -= 1
+            # Fold the stall seconds in batch order through the ledger helper
+            # — the same adds in the same order as accumulating in the loop.
+            self.ingest_stalled_s = ledger_sum(stalls, start=self.ingest_stalled_s)
             self._ingest_ports[dest] = port
             # Receiver-program-order housekeeping (the only deterministic
             # place to prune): pending records that would have fully drained
@@ -449,6 +470,61 @@ class NicTimeline:
         """Posted-but-not-yet-ingested messages for ``dest`` (tests, stats)."""
         with self._lock:
             return len(self._pending.get(dest, {}))
+
+    def pending_records(self, dest: int) -> list[IngestRecord]:
+        """Key-ordered snapshot of the advisory pending ledger for ``dest``.
+
+        A pure read over exactly the records :meth:`ingest_backlog` replays —
+        the runtime sanitizer walks it to audit cross-rank backlog reads for
+        a happens-before edge, and tests introspect it.
+        """
+        with self._lock:
+            pending = self._pending.get(dest)
+            if not pending:
+                return []
+            return [pending[key] for key in sorted(pending)]
+
+    def state_fingerprint(self, rank: Optional[int] = None) -> int:
+        """Hash of the priced ledger state, optionally scoped to one rank.
+
+        With ``rank=None`` the digest covers every port/link/sequence cursor
+        and the occupancy counters.  With a rank it covers only the state
+        that rank's *own* calls advance — its injection and ingestion
+        cursors, its outgoing links, its sequence counter.  That scope is
+        what the runtime sanitizer checksums around selector pricing calls:
+        concurrent traffic from other ranks only ever touches *their* keys
+        (send side source-scoped, receive side receiver-committed), so the
+        rank-scoped digest is immune to scheduling noise while any mutation
+        a pricing call leaks onto its own rank's state changes it.
+        """
+        with self._lock:
+            if rank is None:
+                return hash(
+                    (
+                        tuple(sorted(self._ports.items())),
+                        tuple(sorted(self._links.items())),
+                        tuple(sorted(self._ingest_ports.items())),
+                        tuple(sorted(self._seqs.items())),
+                        self._pending_total,
+                        self.reservations,
+                        self.ingests,
+                    )
+                )
+            links = tuple(
+                sorted(
+                    (key, value)
+                    for key, value in self._links.items()
+                    if key[0] == rank
+                )
+            )
+            return hash(
+                (
+                    self._ports.get(rank, 0.0),
+                    links,
+                    self._ingest_ports.get(rank, 0.0),
+                    self._seqs.get(rank, 0),
+                )
+            )
 
     def in_flight(self, at: float, *, source: int | None = None) -> int:
         """Ledger query: messages occupying the wire at virtual time ``at``."""

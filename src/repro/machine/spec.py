@@ -86,7 +86,7 @@ class MachineSpec:
     rendezvous_overhead_s: float = 1.6e-6
     max_nodes: int = 4608
 
-    def with_overrides(self, **kwargs) -> "MachineSpec":
+    def with_overrides(self, **kwargs: object) -> "MachineSpec":
         """Return a copy with fields replaced (for what-if studies)."""
         return replace(self, **kwargs)
 

@@ -9,9 +9,10 @@ so benchmarks and ablations can construct variants directly.
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Optional
+from typing import Iterator, Optional
 
 
 class PackMethod(enum.Enum):
@@ -35,6 +36,32 @@ SELECTION_MODES = ("model", "contended", "fixed")
 #: both ends of the wire (injection *and* ingestion ports); ``"inject_only"``
 #: keeps the PR-3/PR-4 send-side-only accounting as an ablation.
 NIC_MODES = ("duplex", "inject_only")
+
+#: Ambient default of ``TempiConfig.sanitize``: ``repro sanitize`` (and the
+#: tests) flip it through :func:`sanitize_default` so benchmarks that build
+#: their own configs replay under the sanitizer without modification.
+_SANITIZE_DEFAULT = False
+
+
+def _default_sanitize() -> bool:
+    """The ambient ``sanitize`` default (see :func:`sanitize_default`)."""
+    return _SANITIZE_DEFAULT
+
+
+@contextmanager
+def sanitize_default(enabled: bool) -> Iterator[None]:
+    """Temporarily set the ambient default of ``TempiConfig.sanitize``.
+
+    Only configs *constructed inside* the context inherit the default;
+    explicit ``TempiConfig(sanitize=...)`` always wins.
+    """
+    global _SANITIZE_DEFAULT
+    previous = _SANITIZE_DEFAULT
+    _SANITIZE_DEFAULT = bool(enabled)
+    try:
+        yield
+    finally:
+        _SANITIZE_DEFAULT = previous
 
 
 @dataclass(frozen=True)
@@ -104,6 +131,16 @@ class TempiConfig:
     selection_memo: bool = True
     #: Most contended-selection entries retained per rank (LRU eviction).
     selection_memo_size: int = 1024
+    #: Run under the clock sanitizer (:mod:`repro.tempi.sanitizer`): every
+    #: rank's NIC handle becomes a recording proxy that maintains per-rank
+    #: vector clocks over reservation/ingest commits, audits cross-rank
+    #: backlog reads for a happens-before edge, asserts port-cursor
+    #: monotonicity, and checksums ledger state around selector pricing
+    #: calls.  Violations raise ``SanitizerError``.  Priced results are
+    #: unchanged — the proxy only observes — but wall-clock slows, so the
+    #: knob defaults off; ``repro sanitize`` replays the figure benchmarks
+    #: with it on (through :func:`sanitize_default`).
+    sanitize: bool = field(default_factory=_default_sanitize)
     #: Where the system-measurement file lives; None keeps it in memory only.
     measurement_path: Optional[Path] = None
     #: Overhead charged per model query when the result is not cached, and

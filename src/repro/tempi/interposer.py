@@ -38,7 +38,6 @@ baseline and TEMPI.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -57,7 +56,7 @@ from repro.tempi.cache import ResourceCache
 from repro.tempi.canonicalize import simplify
 from repro.tempi.config import TempiConfig
 from repro.tempi.executor import PlanExecutor
-from repro.tempi.measurement import SystemMeasurement
+from repro.tempi.measurement import SystemMeasurement, host_timer
 from repro.tempi.packer import Packer
 from repro.tempi.progress import ProgressEngine
 from repro.tempi.perf_model import PerformanceModel
@@ -206,6 +205,19 @@ class TempiCommunicator:
     ) -> None:
         self._comm = comm
         self.config = config
+        #: The clock sanitizer's recording proxy (``config.sanitize`` only):
+        #: handed to the progress engine as its NIC, so every reservation,
+        #: ingest commit and backlog read this rank issues is audited.  The
+        #: selector inherits it through ``self._engine.nic``.
+        self._sanitizer_view = None
+        if config.sanitize:
+            from repro.machine.nic import NicTimeline
+            from repro.tempi.sanitizer import sanitized_view
+
+            base = getattr(getattr(comm, "world", None), "nic", None)
+            if base is None:
+                base = NicTimeline()
+            self._sanitizer_view = sanitized_view(base, comm.rank)
         self.tempi = library if library is not None else Tempi(
             comm.gpu, comm.network.machine, config, model, registry
         )
@@ -217,6 +229,7 @@ class TempiCommunicator:
             nic_mode=config.nic,
             batching=config.batch_eager_sends and config.overlap,
             batch_max_messages=config.batch_max_messages,
+            nic=self._sanitizer_view,
         )
         self._executor = PlanExecutor(
             comm,
@@ -254,6 +267,12 @@ class TempiCommunicator:
         {"Barrier", "Allreduce_scalar", "Allgather_object", "Probe"}
     )
 
+    #: Fall-throughs that are collective join points: no rank returns before
+    #: every rank entered, so under the sanitizer they merge all ranks'
+    #: vector clocks (the happens-before edge a barrier establishes).
+    #: ``Probe`` is a fall-through but *not* a join — it observes one peer.
+    _SANITIZER_JOINS = frozenset({"Barrier", "Allreduce_scalar", "Allgather_object"})
+
     # ------------------------------------------------------------ passthrough
     def __getattr__(self, name: str):
         # Anything TEMPI does not override resolves in the "system MPI",
@@ -263,6 +282,11 @@ class TempiCommunicator:
         if name in self._PROGRESS_FALLTHROUGHS:
             def passthrough(*args, **kwargs):
                 self._engine.progress()
+                view = self._sanitizer_view
+                if view is not None and name in self._SANITIZER_JOINS:
+                    # Before the real collective: the last arriver merges the
+                    # clocks while every rank is still blocked inside it.
+                    view.barrier_enter(self._comm.size)
                 return attr(*args, **kwargs)
 
             return passthrough
@@ -300,9 +324,11 @@ class TempiCommunicator:
         self.tempi.stats.commits += 1
         if not (self.config.enabled and self.config.datatype_handling):
             return datatype
-        started = time.perf_counter()
+        # Wall-clock (diagnostic, never priced): how long the simulator's own
+        # translation pipeline took, read through the measurement seam.
+        started = host_timer()
         handler = self._build_handler(datatype)
-        handler.commit_seconds = time.perf_counter() - started
+        handler.commit_seconds = host_timer() - started
         datatype.attachment = handler
         if handler.accelerated:
             self.tempi.stats.accelerated_commits += 1
@@ -1186,10 +1212,14 @@ class TempiCommunicator:
         return f"<TempiCommunicator over {self._comm!r} method={self.config.method.value}>"
 
 
-def interpose(ctx, config: TempiConfig = TempiConfig(), **kwargs) -> TempiCommunicator:
+def interpose(ctx, config: Optional[TempiConfig] = None, **kwargs) -> TempiCommunicator:
     """Wrap a :class:`~repro.mpi.world.ProcessContext`'s communicator with TEMPI.
 
     This is the one-liner applications use instead of changing their code:
-    the returned object is a drop-in replacement for ``ctx.comm``.
+    the returned object is a drop-in replacement for ``ctx.comm``.  ``config``
+    defaults to a ``TempiConfig()`` built *at call time*, so ambient defaults
+    (:func:`repro.tempi.config.sanitize_default`) apply to it.
     """
+    if config is None:
+        config = TempiConfig()
     return TempiCommunicator(ctx.comm, config, **kwargs)

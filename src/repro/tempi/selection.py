@@ -54,9 +54,10 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, Optional, Protocol, Union
+from typing import Any, Callable, ContextManager, Dict, Optional, Protocol, Union, cast
 
 from repro.machine.nic import NicTimeline
 from repro.machine.spec import MachineSpec
@@ -93,7 +94,7 @@ class MethodSelector(Protocol):
     """
 
     def __call__(
-        self, packer, nbytes: int, peer: Optional[int] = None
+        self, packer: Any, nbytes: int, peer: Optional[int] = None
     ) -> PackMethod:  # pragma: no cover - protocol
         ...
 
@@ -211,7 +212,7 @@ class FixedSelector:
             raise SelectionError("a fixed selector needs a concrete method, not AUTO")
         self.method = method
 
-    def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
+    def __call__(self, packer: Any, nbytes: int, peer: Optional[int] = None) -> PackMethod:
         """Return the forced method (zero-byte sections are no-ops)."""
         if nbytes <= 0:
             return NOOP_METHOD
@@ -237,10 +238,10 @@ class ModelSelector:
         self,
         model: Union[PerformanceModel, Callable[[], PerformanceModel]],
         *,
-        cache=None,
-        clock=None,
+        cache: Any = None,
+        clock: Any = None,
         config: Optional[TempiConfig] = None,
-        stats=None,
+        stats: Any = None,
     ) -> None:
         self._model = model
         self.cache = cache
@@ -268,7 +269,9 @@ class ModelSelector:
         else:
             self.stats.selection_memo_misses += 1
 
-    def _memoize(self, key, compute):
+    def _memoize(
+        self, key: tuple[Any, ...], compute: Callable[[], PackMethod]
+    ) -> tuple[PackMethod, bool]:
         """Memoise a decision and charge the query overhead on the clock.
 
         With ``config.selection_memo`` off the value is recomputed on every
@@ -282,11 +285,11 @@ class ModelSelector:
             return compute(), False
         if self.config.selection_memo:
             hits_before = self.cache.stats.query_hits
-            value = self.cache.memoize(key, compute)
-            cached = self.cache.stats.query_hits > hits_before
+            value = cast(PackMethod, self.cache.memoize(key, compute))
+            cached = bool(self.cache.stats.query_hits > hits_before)
             self._note_memo(cached)
             return value, cached
-        cached = self.cache.note_query(key)
+        cached = bool(self.cache.note_query(key))
         self._note_memo(False)
         return compute(), cached
 
@@ -301,7 +304,7 @@ class ModelSelector:
         """The contention-free Eqs. 1-3 comparison."""
         return self.model.choose_method(nbytes, block_length)
 
-    def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
+    def __call__(self, packer: Any, nbytes: int, peer: Optional[int] = None) -> PackMethod:
         """Select the contention-free best method (``peer`` is ignored)."""
         if nbytes <= 0:
             return NOOP_METHOD
@@ -350,10 +353,10 @@ class ContendedSelector(ModelSelector):
         nic: NicTimeline,
         rank: int,
         *,
-        cache=None,
-        clock=None,
+        cache: Any = None,
+        clock: Any = None,
         config: Optional[TempiConfig] = None,
-        stats=None,
+        stats: Any = None,
     ) -> None:
         super().__init__(model, cache=cache, clock=clock, config=config, stats=stats)
         if nic is None:
@@ -366,7 +369,7 @@ class ContendedSelector(ModelSelector):
         #: bounds residency.  With ``selection_memo`` off only the *keys* are
         #: retained (values recomputed), keeping the charge schedule — and
         #: the eviction order — identical in both modes.
-        self._memo: OrderedDict = OrderedDict()
+        self._memo: OrderedDict[tuple[Any, ...], Optional[PackMethod]] = OrderedDict()
 
     @staticmethod
     def _quantise(raw: float) -> float:
@@ -403,7 +406,24 @@ class ContendedSelector(ModelSelector):
             return 0.0
         return self._quantise(self.nic.ingest_backlog(peer, self._now))
 
-    def _contended_memoize(self, key, compute):
+    def _pricing_guard(self) -> ContextManager[None]:
+        """The NIC's pricing purity guard, when it offers one.
+
+        Under the clock sanitizer (``TempiConfig(sanitize=True)``) ``self.nic``
+        is a :class:`~repro.tempi.sanitizer.SanitizedNic` whose guard
+        checksums this rank's ledger slice around the pricing reads and
+        raises if anything mutated mid-decision; a bare
+        :class:`~repro.machine.nic.NicTimeline` has no guard and the
+        selection runs unwatched.
+        """
+        guard = getattr(self.nic, "pricing_guard", None)
+        if guard is None:
+            return nullcontext()
+        return cast(ContextManager[None], guard())
+
+    def _contended_memoize(
+        self, key: tuple[Any, ...], compute: Callable[[], PackMethod]
+    ) -> tuple[PackMethod, bool]:
         """Bounded-LRU memoisation with a knob-independent charge schedule.
 
         Mirrors the resource cache's ``query_hits``/``query_misses`` counters
@@ -427,7 +447,7 @@ class ContendedSelector(ModelSelector):
             stats.query_hits += 1
             if remember:
                 self._note_memo(True)
-                return self._memo[key], True
+                return cast(PackMethod, self._memo[key]), True
             self._note_memo(False)
             return compute(), True
         stats.query_misses += 1
@@ -438,34 +458,35 @@ class ContendedSelector(ModelSelector):
             self._memo.popitem(last=False)
         return value, False
 
-    def __call__(self, packer, nbytes: int, peer: Optional[int] = None) -> PackMethod:
+    def __call__(self, packer: Any, nbytes: int, peer: Optional[int] = None) -> PackMethod:
         """Select under live NIC backlog (identical to the model path at idle)."""
         if nbytes <= 0:
             return NOOP_METHOD
-        backlog = self.backlog()
-        link = self.link_backlog(peer)
-        ingest = self.ingest_backlog(peer)
-        if backlog <= 0.0 and link <= 0.0 and ingest <= 0.0:
-            return super().__call__(packer, nbytes)
-        block_length = packer.block.block_length
-        method, cached = self._contended_memoize(
-            (
-                "method-contended",
-                int(nbytes),
-                int(block_length),
-                float(backlog),
-                float(link),
-                float(ingest),
-            ),
-            lambda: contended_estimate(
-                self.model,
-                int(nbytes),
-                int(block_length),
-                backlog,
-                link_backlog_s=link,
-                ingest_backlog_s=ingest,
-            ).best(),
-        )
+        with self._pricing_guard():
+            backlog = self.backlog()
+            link = self.link_backlog(peer)
+            ingest = self.ingest_backlog(peer)
+            if backlog <= 0.0 and link <= 0.0 and ingest <= 0.0:
+                return super().__call__(packer, nbytes)
+            block_length = packer.block.block_length
+            method, cached = self._contended_memoize(
+                (
+                    "method-contended",
+                    int(nbytes),
+                    int(block_length),
+                    float(backlog),
+                    float(link),
+                    float(ingest),
+                ),
+                lambda: contended_estimate(
+                    self.model,
+                    int(nbytes),
+                    int(block_length),
+                    backlog,
+                    link_backlog_s=link,
+                    ingest_backlog_s=ingest,
+                ).best(),
+            )
         self._charge(cached)
         return method
 
@@ -474,11 +495,11 @@ def make_selector(
     config: TempiConfig,
     model: Union[PerformanceModel, Callable[[], PerformanceModel]],
     *,
-    cache=None,
-    clock=None,
+    cache: Any = None,
+    clock: Any = None,
     nic: Optional[NicTimeline] = None,
     rank: int = 0,
-    stats=None,
+    stats: Any = None,
 ) -> MethodSelector:
     """Build the selector ``config`` asks for (the interposer's factory).
 

@@ -1,0 +1,6 @@
+"""``python -m tools.analyze`` — run the simlint pass from the repo root."""
+
+from tools.analyze.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

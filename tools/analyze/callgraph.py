@@ -1,0 +1,227 @@
+"""A pragmatic intra-project call graph for the SIM002 reachability check.
+
+The graph is built from the AST alone (no imports are executed): nodes are
+``module:qualname`` strings for every function and method defined under
+``src/repro``, and edges follow the calls the AST can resolve statically —
+
+* bare names to same-module functions and ``from``-imported project
+  functions,
+* ``self.method(...)`` (and ``super().method(...)``) through the defining
+  class and its project-resolvable bases,
+* ``module.function(...)`` through ``import``ed project modules.
+
+Dynamic dispatch through arbitrary receivers is deliberately *not* chased —
+SIM002 inspects the bodies of the functions the graph proves reachable, so
+an unresolvable edge narrows coverage rather than inventing false paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from tools.analyze.core import SourceFile
+
+
+def module_name(relpath: str) -> Optional[str]:
+    """``src/repro/tempi/selection.py`` → ``repro.tempi.selection``."""
+    if not relpath.startswith("src/") or not relpath.endswith(".py"):
+        return None
+    parts = relpath[len("src/"):-len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One defined function/method and the raw call sites in its body."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    module: str
+    qualname: str
+    class_name: Optional[str]
+
+    @property
+    def key(self) -> str:
+        """The graph node id, ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol tables the edge resolver consults."""
+
+    name: str
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+
+
+class CallGraph:
+    """The project call graph plus reachability queries."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.edges: dict[str, set[str]] = {}
+
+    # ----------------------------------------------------------------- build
+    @classmethod
+    def build(cls, files: Iterable[SourceFile]) -> "CallGraph":
+        """Index every project file, then resolve call edges."""
+        graph = cls()
+        indexed: list[tuple[ModuleInfo, SourceFile]] = []
+        for source_file in files:
+            name = module_name(source_file.relpath)
+            if name is None or source_file.tree is None:
+                continue
+            info = graph._index_module(name, source_file.tree)
+            graph.modules[name] = info
+            indexed.append((info, source_file))
+        for info, _ in indexed:
+            for function in info.functions.values():
+                graph.edges[function.key] = graph._resolve_edges(info, function)
+        return graph
+
+    def _index_module(self, name: str, tree: ast.Module) -> ModuleInfo:
+        """Collect imports, functions, methods and class bases of one module."""
+        info = ModuleInfo(name=name)
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname if alias.asname else alias.name.split(".")[0]
+                    info.imports[local] = alias.name if alias.asname else local
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    local = alias.asname if alias.asname else alias.name
+                    info.imports[local] = f"{node.module}.{alias.name}"
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                function = FunctionInfo(node, name, node.name, None)
+                info.functions[function.qualname] = function
+                self.functions[function.key] = function
+            elif isinstance(node, ast.ClassDef):
+                bases: list[str] = []
+                for base in node.bases:
+                    base_name = _expr_name(base)
+                    if base_name is not None:
+                        bases.append(info.imports.get(base_name, base_name))
+                info.class_bases[node.name] = bases
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        function = FunctionInfo(
+                            item, name, f"{node.name}.{item.name}", node.name
+                        )
+                        info.functions[function.qualname] = function
+                        self.functions[function.key] = function
+        return info
+
+    # --------------------------------------------------------------- resolve
+    def _method_key(
+        self, module: str, class_name: str, method: str
+    ) -> Optional[str]:
+        """Resolve ``class_name.method`` through the project MRO (by name)."""
+        seen: set[str] = set()
+        queue: list[tuple[str, str]] = [(module, class_name)]
+        while queue:
+            mod, cls = queue.pop(0)
+            if (mod, cls) in seen or mod not in self.modules:
+                continue
+            seen.add((mod, cls))
+            info = self.modules[mod]
+            candidate = info.functions.get(f"{cls}.{method}")
+            if candidate is not None:
+                return candidate.key
+            for base in info.class_bases.get(cls, []):
+                if "." in base:
+                    base_module, _, base_cls = base.rpartition(".")
+                    queue.append((base_module, base_cls))
+                else:
+                    queue.append((mod, base))
+        return None
+
+    def _resolve_edges(self, info: ModuleInfo, function: FunctionInfo) -> set[str]:
+        """The statically resolvable callees of one function body."""
+        targets: set[str] = set()
+        for node in ast.walk(function.node):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                target = self._resolve_bare_name(info, func.id)
+                if target is not None:
+                    targets.add(target)
+            elif isinstance(func, ast.Attribute):
+                value = func.value
+                if isinstance(value, ast.Name) and value.id == "self":
+                    if function.class_name is not None:
+                        key = self._method_key(
+                            info.name, function.class_name, func.attr
+                        )
+                        if key is not None:
+                            targets.add(key)
+                elif (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "super"
+                    and function.class_name is not None
+                ):
+                    for base in info.class_bases.get(function.class_name, []):
+                        if "." in base:
+                            base_module, _, base_cls = base.rpartition(".")
+                        else:
+                            base_module, base_cls = info.name, base
+                        key = self._method_key(base_module, base_cls, func.attr)
+                        if key is not None:
+                            targets.add(key)
+                elif isinstance(value, ast.Name):
+                    dotted = info.imports.get(value.id)
+                    if dotted is not None and dotted in self.modules:
+                        candidate = self.modules[dotted].functions.get(func.attr)
+                        if candidate is not None:
+                            targets.add(candidate.key)
+        return targets
+
+    def _resolve_bare_name(self, info: ModuleInfo, name: str) -> Optional[str]:
+        """A bare-name call: same-module function or ``from``-imported one."""
+        local = info.functions.get(name)
+        if local is not None:
+            return local.key
+        dotted = info.imports.get(name)
+        if dotted is None:
+            return None
+        target_module, _, symbol = dotted.rpartition(".")
+        target = self.modules.get(target_module)
+        if target is None:
+            return None
+        # A class name resolves to its constructor chain; a function to itself.
+        function = target.functions.get(symbol) or target.functions.get(
+            f"{symbol}.__init__"
+        )
+        return function.key if function is not None else None
+
+    # ------------------------------------------------------------ reachability
+    def reachable_from_module(self, module: str) -> set[str]:
+        """Every function key reachable from any function of ``module``."""
+        info = self.modules.get(module)
+        if info is None:
+            return set()
+        frontier = [function.key for function in info.functions.values()]
+        seen: set[str] = set(frontier)
+        while frontier:
+            key = frontier.pop()
+            for target in self.edges.get(key, ()):
+                if target not in seen:
+                    seen.add(target)
+                    frontier.append(target)
+        return seen
+
+
+def _expr_name(node: ast.expr) -> Optional[str]:
+    """The identifier of a Name, or the terminal attribute of a chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None

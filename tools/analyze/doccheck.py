@@ -1,0 +1,73 @@
+"""SIM004 — the documentation must cover every knob and every counter.
+
+Promotes the original ``tests/test_docs.py`` coverage assertions into the
+analyzer: every ``TempiConfig`` dataclass field must appear (as a
+backtick-quoted name) in ``docs/CONFIG.md``, and every ``InterposerStats``
+counter in ``docs/ARCHITECTURE.md``.  The dataclasses are read from the AST
+— no project import is needed, so the rule runs on any checkout (and on the
+fixture trees the unit tests build).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional
+
+from tools.analyze.core import Violation
+
+#: (source file, dataclass, document that must name every field) triples.
+DOC_CONTRACTS = (
+    ("src/repro/tempi/config.py", "TempiConfig", "docs/CONFIG.md"),
+    ("src/repro/tempi/interposer.py", "InterposerStats", "docs/ARCHITECTURE.md"),
+)
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str) -> list[tuple[str, int]]:
+    """The annotated field names (and lines) of one top-level dataclass."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return [
+                (item.target.id, item.lineno)
+                for item in node.body
+                if isinstance(item, ast.AnnAssign)
+                and isinstance(item.target, ast.Name)
+                and not item.target.id.startswith("_")
+            ]
+    return []
+
+
+def _parse(path: Path) -> Optional[ast.Module]:
+    """Parse one source file, or ``None`` when absent/unparseable."""
+    if not path.is_file():
+        return None
+    try:
+        return ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError:  # pragma: no cover - ruff/compileall gate first
+        return None
+
+
+def check_doc_coverage(root: Path) -> list[Violation]:
+    """Flag every dataclass field its contract document fails to name."""
+    findings: list[Violation] = []
+    for source_rel, class_name, doc_rel in DOC_CONTRACTS:
+        tree = _parse(root / source_rel)
+        if tree is None:
+            continue
+        fields = _dataclass_fields(tree, class_name)
+        if not fields:
+            continue
+        doc_path = root / doc_rel
+        doc_text = doc_path.read_text(encoding="utf-8") if doc_path.is_file() else ""
+        for name, line in fields:
+            if f"`{name}`" not in doc_text:
+                findings.append(
+                    Violation(
+                        source_rel,
+                        line,
+                        "SIM004",
+                        f"{class_name} field `{name}` is not documented in "
+                        f"{doc_rel}",
+                    )
+                )
+    return findings
