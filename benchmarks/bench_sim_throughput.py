@@ -24,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.bench.simthroughput import (
+    FABRIC_SPEC,
     FULL_RANKS,
     HALO_DEGREE,
     SMOKE_RANKS,
@@ -36,15 +37,26 @@ from repro.bench.simthroughput import (
 BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
 
 
-def sweep_payload(results: dict, *, mode: str) -> dict:
-    """The JSON document committed as ``BENCH_sim.json``."""
-    return {
+def sweep_payload(results: dict, *, mode: str, topology=None) -> dict:
+    """The JSON document committed as ``BENCH_sim.json``.
+
+    ``topology`` is an optional ``(spec, results)`` pair recording the
+    hierarchical sweep leg (path resolution + ledger binding per message).
+    """
+    payload = {
         "schema": 1,
         "benchmark": "sim-throughput",
         "mode": mode,
         "halo_degree": HALO_DEGREE,
         "results": {str(nranks): entry for nranks, entry in sorted(results.items())},
     }
+    if topology is not None:
+        spec, topo_results = topology
+        payload["topology"] = {
+            "spec": spec.to_dict(),
+            "results": {str(n): entry for n, entry in sorted(topo_results.items())},
+        }
+    return payload
 
 
 @pytest.mark.benchmark
@@ -78,6 +90,9 @@ def main(argv=None) -> int:
                              "(>20%% speedup-ratio drop fails)")
     parser.add_argument("--output", type=Path, default=None,
                         help="write the sweep as a BENCH_sim.json baseline here")
+    parser.add_argument("--topology", default=None,
+                        help="also sweep with a hierarchical topology: 'fabric' "
+                             "(the built-in fat-tree preset) or a TopologySpec JSON file")
     args = parser.parse_args(argv)
     if args.ranks:
         rank_counts, mode = tuple(args.ranks), "custom"
@@ -86,10 +101,29 @@ def main(argv=None) -> int:
     else:
         rank_counts, mode = FULL_RANKS, "full"
 
+    spec = None
+    if args.topology is not None:
+        if args.topology == "fabric":
+            spec = FABRIC_SPEC
+        else:
+            from repro.machine.topology import TopologySpec
+
+            spec = TopologySpec.load(Path(args.topology))
+        if spec.is_flat:
+            print("--topology spec is flat; nothing hierarchical to sweep", file=sys.stderr)
+            return 2
+
     results = run_sweep(rank_counts)
     print("Simulator throughput — eager vs cached control plane (wall-clock)")
     print(render_table(results))
     check_sweep(results)
+
+    topo_results = None
+    if spec is not None:
+        topo_results = run_sweep(rank_counts, topology=spec)
+        print("\nWith hierarchical topology (path resolution + ledger binding per message)")
+        print(render_table(topo_results))
+        check_sweep(topo_results)
 
     if mode == "full":
         smallest = min(results)
@@ -100,7 +134,9 @@ def main(argv=None) -> int:
         print(f"OK: {speedup:.1f}x over the eager path at {smallest} ranks (target 10x)")
 
     if args.output is not None:
-        args.output.write_text(json.dumps(sweep_payload(results, mode=mode), indent=2) + "\n")
+        topology = (spec, topo_results) if spec is not None else None
+        payload = sweep_payload(results, mode=mode, topology=topology)
+        args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote baseline {args.output}")
 
     if args.baseline is not None:

@@ -29,7 +29,14 @@ Three engines are priced:
   ``nic="inject_only"`` ablation prices the same burst the PR-3/PR-4 way
   (arrivals land whenever their senders computed) and
   :func:`incast_efficiency` is the ratio — how much of the advertised
-  arrival schedule survives the receiver bottleneck.
+  arrival schedule survives the receiver bottleneck;
+* :func:`model_fabric_exchange` — the *fabric* companion: a hierarchical
+  cross-leaf burst where every flow owns its injection port, NIC rail and
+  destination, and the only shared resource is the source leaf's
+  oversubscribed uplink bundle (the structural incast no endpoint queue can
+  explain); the ``fabric="independent"`` ablation prices each flow on a
+  private timeline and :func:`uplink_efficiency` is the degradation curve
+  as the oversubscription factor (or flow count) grows.
 
 Because every rank owns an identical sub-domain and the decomposition is
 periodic, ranks are statistically identical; the model evaluates one
@@ -46,7 +53,7 @@ from repro.apps.halo import DIRECTIONS, HaloSpec, RankGrid
 from repro.machine.network import DEFAULT_WIRE_OVERLAP, NetworkModel
 from repro.machine.nic import IngestRecord, NicTimeline
 from repro.machine.spec import SUMMIT, MachineSpec
-from repro.machine.topology import Topology
+from repro.machine.topology import Topology, TopologySpec
 from repro.tempi.config import TempiConfig
 
 
@@ -535,6 +542,131 @@ def incast_efficiency(
         wire_overlap=wire_overlap,
     )
     return inject_only.completion_s / duplex.completion_s
+
+
+@dataclass(frozen=True)
+class FabricBreakdown:
+    """Modelled timeline of a cross-leaf burst on the fat-tree fabric."""
+
+    flows: int
+    nbytes: int
+    #: Wire seconds of one cross-leaf message on the resolved spine path.
+    wire_s: float
+    #: Virtual time each flow's pack completes (all flows identical).
+    pack_s: float
+    #: Last landing of the burst — its completion.
+    completion_s: float
+    #: Reservations the shared uplink bundles lifted (zero under the
+    #: ``fabric="independent"`` ablation, by construction).
+    fabric_stalls: int
+    #: Total seconds those reservations waited on the fabric cursors.
+    fabric_stalled_s: float
+
+
+def model_fabric_exchange(
+    flows: int,
+    nbytes: int,
+    *,
+    spec: TopologySpec,
+    block_length: int = 512,
+    machine: MachineSpec = SUMMIT,
+    wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+    fabric: str = "shared",
+) -> FabricBreakdown:
+    """Price ``flows`` simultaneous cross-leaf sends through one leaf's uplink.
+
+    The *structural* incast no endpoint queue can explain: one sender per
+    node on leaf 0 fires one ``nbytes`` message at its counterpart node on
+    leaf 1, so every flow owns its injection port, its NIC rail and its
+    destination — and the only shared resource is the source leaf's uplink
+    bundle (and the destination leaf's down bundle), whose bandwidth the
+    spec's ``oversubscription`` divides.  Every reservation goes through a
+    real :class:`~repro.machine.nic.NicTimeline` with the resolved
+    :class:`~repro.machine.topology.PathSpec` bound, so this walk can never
+    drift from what the simulator charges; ``fabric="independent"`` prices
+    each flow on a private timeline instead (the same resolved wire, no
+    shared cursors) — completion flat in ``flows``, the full-bisection
+    fiction.  ``bench_topology.py`` measures the same burst functionally.
+    """
+    if flows <= 0:
+        raise ValueError(f"flows must be positive, got {flows}")
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    if fabric not in ("shared", "independent"):
+        raise ValueError(f"fabric must be 'shared' or 'independent', got {fabric!r}")
+    if spec.leaf_radix <= 0:
+        raise ValueError("spec must define a fat-tree (leaf_radix > 0) to have uplinks")
+    if flows > spec.leaf_radix:
+        raise ValueError(
+            f"flows={flows} exceeds the {spec.leaf_radix} nodes under one leaf "
+            "(one flow per source node keeps ports and rails private)"
+        )
+    nranks = 2 * spec.leaf_radix * spec.ranks_per_node
+    topology = Topology(nranks, machine=machine, spec=spec)
+    gpu = machine.node.gpu
+    pack = gpu.kernel_time(nbytes, min(block_length, nbytes), target="device", unpack=False)
+    timeline = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+    wire = 0.0
+    landings = []
+    for flow in range(flows):
+        src = flow * spec.ranks_per_node
+        dst = (spec.leaf_radix + flow) * spec.ranks_per_node
+        path = topology.resolve(src, dst, device_buffers=True)
+        wire = topology.message_time(src, dst, nbytes, device_buffers=True)
+        if fabric == "independent":
+            solo = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+            landings.append(solo.reserve(src, dst, pack, wire, nbytes, path=path).arrival)
+        else:
+            landings.append(timeline.reserve(src, dst, pack, wire, nbytes, path=path).arrival)
+    return FabricBreakdown(
+        flows=flows,
+        nbytes=nbytes,
+        wire_s=wire,
+        pack_s=pack,
+        completion_s=max(landings),
+        fabric_stalls=timeline.fabric_stalls,
+        fabric_stalled_s=timeline.fabric_stalled_s,
+    )
+
+
+def uplink_efficiency(
+    flows: int,
+    nbytes: int,
+    *,
+    spec: TopologySpec,
+    block_length: int = 512,
+    machine: MachineSpec = SUMMIT,
+    wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+) -> float:
+    """How much of the full-bisection schedule survives the shared uplink.
+
+    The ratio of the cross-leaf burst's completion priced per-flow
+    (``fabric="independent"``: every landing at its privately-computed
+    arrival) to the same burst priced on the shared uplink bundles.  1.0 for
+    a single flow by construction; decreases monotonically as flows pile
+    onto the bundle or as the spec's ``oversubscription`` shrinks it — the
+    fabric counterpart of :func:`incast_efficiency`, with the bottleneck in
+    the switch rather than at either endpoint.
+    """
+    independent = model_fabric_exchange(
+        flows,
+        nbytes,
+        spec=spec,
+        block_length=block_length,
+        machine=machine,
+        wire_overlap=wire_overlap,
+        fabric="independent",
+    )
+    shared = model_fabric_exchange(
+        flows,
+        nbytes,
+        spec=spec,
+        block_length=block_length,
+        machine=machine,
+        wire_overlap=wire_overlap,
+        fabric="shared",
+    )
+    return independent.completion_s / shared.completion_s
 
 
 def model_selected_exchange(

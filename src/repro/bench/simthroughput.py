@@ -31,6 +31,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.machine.nic import IngestRecord
 from repro.machine.spec import SUMMIT
+from repro.machine.topology import TopologySpec
 from repro.mpi.constructors import Type_vector
 from repro.mpi.datatype import BYTE
 from repro.mpi.world import World
@@ -45,6 +46,7 @@ __all__ = [
     "FULL_RANKS",
     "EAGER_CONFIG",
     "CACHED_CONFIG",
+    "FABRIC_SPEC",
     "ThroughputResult",
     "drive",
     "run_sweep",
@@ -64,6 +66,15 @@ FULL_RANKS = (256, 512, 1024, 2048)
 EAGER_CONFIG = TempiConfig(plan_cache=False, selection_memo=False)
 #: The fast path: plan-template cache plus retained selection memo.
 CACHED_CONFIG = TempiConfig()
+
+#: The hierarchical sweep leg (``--topology fabric``): per-rank NVLink
+#: islands, one shared NIC rail per node and 8-node leaves behind a 4x
+#: oversubscribed spine, so every post resolves a path and cross-leaf
+#: reservations bind the shared uplink ledgers.
+FABRIC_SPEC = TopologySpec(
+    ranks_per_node=2, island_size=1, rails_per_node=1,
+    leaf_radix=8, oversubscription=4.0,
+)
 
 # The halo payload: 8 strided 32 B blocks per neighbour (a small 2-D face).
 _BLOCKS, _BLOCK_BYTES, _STRIDE = 8, 32, 64
@@ -100,6 +111,7 @@ def drive(
     *,
     iters: int,
     degree: int = HALO_DEGREE,
+    topology: Optional[TopologySpec] = None,
 ) -> ThroughputResult:
     """Time ``iters`` halo-exchange rounds of the control plane.
 
@@ -111,8 +123,14 @@ def drive(
     the timed region sees the steady state of each configuration.
     ``messages_per_s`` comes from the *best* round (min timing, robust to GC
     and scheduler noise); ``wall_s`` is the whole timed region.
+
+    A hierarchical ``topology`` spec adds the path-resolution leg: every
+    reservation carries its resolved :class:`~repro.machine.topology.PathSpec`
+    (rail cursors, shared uplink ledgers) and every ingestion record its
+    receive-side rail — the extra per-message work ``--topology`` measures.
     """
-    world = World(nranks, ranks_per_node=2)
+    world = World(nranks, ranks_per_node=2, topology=topology)
+    topo = world.topology if world.topology.hierarchical else None
     nic = world.nic
     peers = tuple(range(nranks))
     setup = []
@@ -144,10 +162,17 @@ def drive(
                 wire_s = wires.get(post.peer)
                 if wire_s is None:
                     wires[post.peer] = wire_s = comm._message_time(post.nbytes, post.peer, True)
-                reservation = nic.reserve(rank, post.peer, now, wire_s, post.nbytes)
+                path = None
+                rail = None
+                if topo is not None:
+                    path = topo.resolve(rank, post.peer, device_buffers=True)
+                    if not topo.same_node(rank, post.peer):
+                        rail = topo.rail_key(post.peer)
+                reservation = nic.reserve(rank, post.peer, now, wire_s, post.nbytes,
+                                          path=path)
                 inbound.setdefault(post.peer, []).append(
                     IngestRecord(reservation.start, rank, reservation.seq,
-                                 wire_s, reservation.arrival)
+                                 wire_s, reservation.arrival, rail)
                 )
                 posted += 1
         for dest, records in inbound.items():
@@ -199,19 +224,24 @@ def run_sweep(
     model: Optional[PerformanceModel] = None,
     *,
     degree: int = HALO_DEGREE,
+    topology: Optional[TopologySpec] = None,
 ) -> dict[int, dict]:
     """Measure eager vs cached throughput at every rank count.
 
     Returns ``{nranks: {"eager": {...}, "cached": {...}, "speedup": x}}``
     with the per-mode :class:`ThroughputResult` fields flattened to plain
-    dicts (JSON-ready for ``BENCH_sim.json``).
+    dicts (JSON-ready for ``BENCH_sim.json``).  ``topology`` runs the same
+    sweep with a hierarchical world (path resolution and ledger binding per
+    message), the ``--topology`` leg of the CLI benchmark.
     """
     if model is None:
         model = PerformanceModel(measure_system(SUMMIT))
     results: dict[int, dict] = {}
     for nranks in rank_counts:
-        eager = drive(nranks, EAGER_CONFIG, model, iters=_eager_iters(nranks), degree=degree)
-        cached = drive(nranks, CACHED_CONFIG, model, iters=_cached_iters(nranks), degree=degree)
+        eager = drive(nranks, EAGER_CONFIG, model, iters=_eager_iters(nranks),
+                      degree=degree, topology=topology)
+        cached = drive(nranks, CACHED_CONFIG, model, iters=_cached_iters(nranks),
+                       degree=degree, topology=topology)
         results[nranks] = {
             "eager": asdict(eager),
             "cached": asdict(cached),

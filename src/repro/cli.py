@@ -26,7 +26,18 @@ used while studying the model:
     only under ``--nic duplex``; ``--nic inject_only`` is the PR-4
     injection-only ablation).  Under load each cell is annotated with the
     term that bound it: ``/pak`` (its own pack kernel), ``/inj`` (injection
-    port), ``/lnk`` (link) or ``/ing`` (ingestion port).
+    port), ``/lnk`` (link) or ``/ing`` (ingestion port).  With
+    ``--topology spec.json`` the map is printed once per resolvable path
+    class (intra-island, cross-island, intra-leaf, cross-leaf), each cell
+    priced along its resolved path — the crossover divergence
+    ``bench_topology.py`` measures.
+
+``python -m repro.cli topo show --spec spec.json --ranks 16``
+    Resolve a :class:`~repro.machine.topology.TopologySpec` (flat when
+    ``--spec`` is omitted) over ``--ranks`` ranks and print the placed
+    shape: nodes, islands, rails, leaves, uplink bundle bandwidths, and one
+    representative pair per path class with its hops, bound ledgers and
+    wire times.
 
 ``python -m repro.cli lint``
     Run the static determinism lint (:mod:`tools.analyze`) over the source
@@ -104,6 +115,25 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="object sizes in bytes (default: 256 B to 4 MiB, powers of two)")
     table.add_argument("--blocks", type=int, nargs="*", default=None,
                        help="contiguous block lengths in bytes (default: the Fig. 10 sweep)")
+    table.add_argument("--topology", type=Path, default=None,
+                       help="TopologySpec JSON file: print one map per resolvable path "
+                            "class, each cell priced along its resolved path")
+
+    topo = sub.add_parser("topo", help="inspect a cluster topology")
+    topo_sub = topo.add_subparsers(dest="topo_command", required=True)
+    topo_show = topo_sub.add_parser(
+        "show",
+        help="resolve a topology spec over a rank count and print the placed shape",
+    )
+    topo_show.add_argument("--spec", type=Path, default=None,
+                           help="TopologySpec JSON file (flat when omitted)")
+    topo_show.add_argument("--ranks", type=int, default=16,
+                           help="world size to place (default 16)")
+    topo_show.add_argument("--ranks-per-node", type=int, default=1,
+                           help="ranks per node for a flat default spec "
+                                "(ignored when --spec is given)")
+    topo_show.add_argument("--size", type=int, default=1 << 20,
+                           help="sample message bytes for the per-class wire times")
 
     lint = sub.add_parser(
         "lint",
@@ -132,6 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="explicit rank counts to sweep")
     sim.add_argument("--output", type=Path, default=None,
                      help="write the sweep as a BENCH_sim.json baseline here")
+    sim.add_argument("--topology", default=None,
+                     help="add a hierarchical sweep leg: 'fabric' (the built-in "
+                          "fat-tree preset) or a TopologySpec JSON file")
     return parser
 
 
@@ -183,6 +216,7 @@ def _cmd_halo(args: argparse.Namespace) -> int:
 
 def _cmd_select_table(args: argparse.Namespace) -> int:
     from repro.machine.network import DEFAULT_WIRE_OVERLAP, NetworkModel
+    from repro.machine.topology import Topology, TopologyError, TopologySpec
     from repro.tempi.measurement import DEFAULT_BLOCKS
     from repro.tempi.selection import contended_estimate
 
@@ -194,6 +228,15 @@ def _cmd_select_table(args: argparse.Namespace) -> int:
     if any(s <= 0 for s in sizes) or any(b <= 0 for b in blocks):
         print("error: sizes and blocks must be positive", file=sys.stderr)
         return 2
+    topology: Optional[Topology] = None
+    if args.topology is not None:
+        try:
+            spec = TopologySpec.load(args.topology)
+        except (OSError, TopologyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        nnodes = 2 * spec.leaf_radix if spec.leaf_radix else 2
+        topology = Topology(nnodes * spec.ranks_per_node, spec=spec)
     model = _load_model(args.measurement)
     network = NetworkModel(SUMMIT)
     duplex = args.nic == "duplex"
@@ -213,34 +256,110 @@ def _cmd_select_table(args: argparse.Namespace) -> int:
         load = ", ".join(["contention-free", parts[0]] + parts[1:])
     else:
         load = ", ".join(parts)
-    print(f"selected method per (size, block length) cell — {load}")
-    if loaded:
-        print("each cell: method/bound — pak=pack kernel, inj=injection port, "
-              "lnk=link, ing=ingestion port")
-    width = 13 if loaded else 9
-    print("bytes      " + "".join(f"{block:>{width}}" for block in blocks))
-    for size in sizes:
-        cells = []
-        for block in blocks:
-            if not loaded:
-                cells.append(model.choose_method(size, min(block, size)).value)
-                continue
-            # Each in-flight plan parks one inter-node message of this size
-            # on the respective port — the same load shape the Fig. 9 and
-            # incast benchmarks sweep — and selection prices the queues it
-            # would see.
-            wire = network.message_time(size, same_node=False, device_buffers=True)
-            estimate = contended_estimate(
-                model,
-                size,
-                min(block, size),
-                args.plans * DEFAULT_WIRE_OVERLAP * wire,
-                link_backlog_s=link_busy * wire,
-                ingest_backlog_s=incast * DEFAULT_WIRE_OVERLAP * wire,
-            )
-            bound = {"pack": "pak", "inject": "inj", "link": "lnk", "ingest": "ing"}
-            cells.append(f"{estimate.best().value}/{bound[estimate.bound()]}")
-        print(f"{size:>9}  " + "".join(f"{cell:>{width}}" for cell in cells))
+
+    def print_grid(oneshot_wire, device_wire) -> None:
+        """One selection map; wire callables map a size to its override."""
+        if loaded or oneshot_wire is not None:
+            print("each cell: method/bound — pak=pack kernel, inj=injection port, "
+                  "lnk=link, ing=ingestion port")
+        width = 13 if loaded or oneshot_wire is not None else 9
+        print("bytes      " + "".join(f"{block:>{width}}" for block in blocks))
+        for size in sizes:
+            cells = []
+            for block in blocks:
+                if not loaded and oneshot_wire is None:
+                    cells.append(model.choose_method(size, min(block, size)).value)
+                    continue
+                # Each in-flight plan parks one inter-node message of this size
+                # on the respective port — the same load shape the Fig. 9 and
+                # incast benchmarks sweep — and selection prices the queues it
+                # would see.
+                wire = network.message_time(size, same_node=False, device_buffers=True)
+                estimate = contended_estimate(
+                    model,
+                    size,
+                    min(block, size),
+                    args.plans * DEFAULT_WIRE_OVERLAP * wire,
+                    link_backlog_s=link_busy * wire,
+                    ingest_backlog_s=incast * DEFAULT_WIRE_OVERLAP * wire,
+                    oneshot_wire_s=None if oneshot_wire is None else oneshot_wire(size),
+                    device_wire_s=None if device_wire is None else device_wire(size),
+                )
+                bound = {"pack": "pak", "inject": "inj", "link": "lnk",
+                         "ingest": "ing", "rail": "ral", "uplink": "upl"}
+                cells.append(f"{estimate.best().value}/{bound[estimate.bound()]}")
+            print(f"{size:>9}  " + "".join(f"{cell:>{width}}" for cell in cells))
+
+    if topology is None or not topology.hierarchical:
+        if topology is not None:
+            print("(flat topology spec: one map, the pre-topology pricing)")
+        print(f"selected method per (size, block length) cell — {load}")
+        print_grid(None, None)
+        return 0
+    pairs = {k: v for k, v in topology.representative_pairs().items() if k != "self"}
+    print(f"selected method per (size, block length) cell, per path class — {load}")
+    for kind, (src, dst) in pairs.items():
+        print(f"\n== path class {kind} (ranks {src} -> {dst})")
+        print_grid(
+            lambda size, s=src, d=dst: topology.message_time(
+                s, d, size, device_buffers=False
+            ),
+            lambda size, s=src, d=dst: topology.message_time(
+                s, d, size, device_buffers=True
+            ),
+        )
+    return 0
+
+
+def _cmd_topo_show(args: argparse.Namespace) -> int:
+    from repro.machine.topology import Topology, TopologyError, TopologySpec
+
+    if args.ranks <= 0 or args.size <= 0:
+        print("error: --ranks and --size must be positive", file=sys.stderr)
+        return 2
+    try:
+        if args.spec is not None:
+            spec = TopologySpec.load(args.spec)
+        else:
+            spec = TopologySpec.flat(args.ranks_per_node)
+        topology = Topology(args.ranks, spec=spec)
+    except (OSError, TopologyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shape = "flat (pre-topology books)" if spec.is_flat else "hierarchical"
+    print(f"topology          : {shape} on {topology.machine.name}")
+    print(f"placement         : {topology.nranks} ranks on {topology.nnodes} nodes "
+          f"({spec.ranks_per_node}/node)")
+    island = spec.island_size if spec.island_size else spec.ranks_per_node
+    print(f"islands           : {island} rank(s) per NVLink island")
+    if spec.rails_per_node:
+        print(f"rails             : {spec.rails_per_node} shared NIC rail(s)/node, "
+              f"policy '{spec.rail_policy}'")
+    else:
+        print("rails             : dedicated per-rank NIC")
+    if spec.leaf_radix:
+        device_bw = topology.uplink_bandwidth_Bps(topology.machine.inter_gpu)
+        host_bw = topology.uplink_bandwidth_Bps(topology.machine.inter_cpu)
+        print(f"fabric            : {topology.nleaves} leaf switch(es), "
+              f"{spec.leaf_radix} nodes/leaf, {spec.oversubscription:g}x oversubscribed")
+        print(f"uplink bundle     : {device_bw / 1e9:.2f} GB/s device, "
+              f"{host_bw / 1e9:.2f} GB/s host")
+    else:
+        print("fabric            : single flat switch")
+    print(f"path classes at {args.size:,} B:")
+    for kind, (src, dst) in topology.representative_pairs().items():
+        path = topology.resolve(src, dst, device_buffers=True)
+        hops = "+".join(hop.kind for hop in path.hops)
+        ledgers = []
+        if path.rail is not None:
+            ledgers.append(f"rail{path.rail}")
+        for key, _bandwidth in path.shared:
+            ledgers.append(f"{key[0]}{key[1]}")
+        device_us = topology.message_time(src, dst, args.size, device_buffers=True) * 1e6
+        host_us = topology.message_time(src, dst, args.size, device_buffers=False) * 1e6
+        print(f"  {kind:7} {src:>4} -> {dst:<4} hops {hops:<18} "
+              f"ledgers {','.join(ledgers) or '-':<12} "
+              f"wire {device_us:9.1f} us device / {host_us:9.1f} us host")
     return 0
 
 
@@ -355,12 +474,15 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench.simthroughput import (
+        FABRIC_SPEC,
         FULL_RANKS,
+        HALO_DEGREE,
         SMOKE_RANKS,
         check_sweep,
         render_table,
         run_sweep,
     )
+    from repro.machine.topology import TopologyError, TopologySpec
 
     if args.ranks:
         rank_counts = tuple(args.ranks)
@@ -372,17 +494,43 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     if any(n < 4 for n in rank_counts):
         print("error: --ranks entries must be at least 4", file=sys.stderr)
         return 2
+    spec = None
+    if args.topology is not None:
+        if args.topology == "fabric":
+            spec = FABRIC_SPEC
+        else:
+            try:
+                spec = TopologySpec.load(args.topology)
+            except (OSError, TopologyError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        if spec.is_flat:
+            print("error: --topology needs a hierarchical spec (flat is the base leg)",
+                  file=sys.stderr)
+            return 2
     results = run_sweep(rank_counts)
     print("simulator throughput — eager vs cached control plane (wall-clock)")
     print(render_table(results))
     check_sweep(results)
+    topo_results = None
+    if spec is not None:
+        topo_results = run_sweep(rank_counts, topology=spec)
+        print("with topology — every post resolves a path and binds its ledgers")
+        print(render_table(topo_results))
+        check_sweep(topo_results)
     if args.output is not None:
         payload = {
             "schema": 1,
             "benchmark": "sim-throughput",
             "mode": mode,
+            "halo_degree": HALO_DEGREE,
             "results": {str(n): entry for n, entry in sorted(results.items())},
         }
+        if spec is not None and topo_results is not None:
+            payload["topology"] = {
+                "spec": spec.to_dict(),
+                "results": {str(n): entry for n, entry in sorted(topo_results.items())},
+            }
         args.output.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"wrote baseline {args.output}")
     return 0
@@ -399,6 +547,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_halo(args)
     if args.command == "select-table":
         return _cmd_select_table(args)
+    if args.command == "topo":
+        if args.topo_command == "show":
+            return _cmd_topo_show(args)
+        raise AssertionError(
+            f"unhandled topo command {args.topo_command!r}"
+        )  # pragma: no cover
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "sanitize":

@@ -50,6 +50,28 @@ set prices identically however the executor threads interleaved the posts.
 posted-but-not-yet-ingested traffic converging on a rank, which is what the
 contention-aware method selector prices a hot peer with.
 
+Topology extension (PR 8).  When a reservation carries a resolved
+:class:`~repro.machine.topology.PathSpec`, three further cursor families
+join the books, all kept in their own dictionaries so the flat books above
+stay byte-identical when no path is given:
+
+* **NIC rails** — ``path.rail`` names a ``(node, rail)`` injection rail the
+  node's ranks share; it advances exactly like an injection port
+  (``start + overlap * wire``) and joins the start ``max``.  The mirrored
+  ``record.rail`` on an :class:`IngestRecord` does the same for the
+  receive side.
+* **Shared uplink ledgers** — every ``(key, bandwidth)`` entry of
+  ``path.shared`` names a leaf switch's uplink bundle.  The message cannot
+  start before the bundle frees, and occupies it for its *own* serial time
+  on that bundle (``nbytes / bandwidth``) — the per-link reservation
+  discipline applied to a shared fabric link, which is what makes incast
+  on an oversubscribed uplink structural rather than hand-built.
+
+Shared-hop cursors necessarily mix sources: they are exact when contending
+posts carry a happens-before edge (barrier-phased traffic, single-threaded
+drivers), and the runtime sanitizer audits cross-rank commits on them the
+same way it audits cross-rank backlog reads.
+
 One timeline is shared by all ranks of a :class:`~repro.mpi.world.World`
 (it hangs off ``world.nic``); the :class:`~repro.tempi.progress.ProgressEngine`
 reserves injection slots and commits ingestion batches on it when
@@ -66,6 +88,7 @@ from typing import Iterable, NamedTuple, Optional, Sequence
 import numpy as np
 
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
+from repro.machine.topology import PathSpec, RailKey, ShareKey
 
 
 class NicError(ValueError):
@@ -145,6 +168,9 @@ class IngestRecord(NamedTuple):
     seq: int
     wire_s: float
     arrival: float
+    #: Receive-side ``(node, rail)`` NIC rail the landing also serialises
+    #: on (``None`` for a dedicated per-rank NIC — the flat books).
+    rail: Optional[RailKey] = None
 
     @property
     def key(self) -> tuple[float, int, int]:
@@ -255,6 +281,11 @@ class NicTimeline:
         self._links: dict[tuple[int, int], float] = {}
         self._ingest_ports: dict[int, float] = {}
         self._seqs: dict[int, int] = {}
+        #: Topology cursors, in their own dictionaries so the flat books
+        #: (and their sorted fingerprints) never see topology keys.
+        self._rail_ports: dict[RailKey, float] = {}
+        self._ingest_rails: dict[RailKey, float] = {}
+        self._shared_links: dict[ShareKey, float] = {}
         #: Posted-but-not-yet-ingested messages per destination (advisory:
         #: consumed at ingest time, pruned once drained, bounded).
         self._pending: dict[int, dict[tuple[float, int, int], IngestRecord]] = {}
@@ -267,6 +298,12 @@ class NicTimeline:
         self.ingests = 0
         self.ingest_stalls = 0
         self.ingest_stalled_s = 0.0
+        #: Reservations delayed specifically by a shared NIC rail or a
+        #: shared uplink bundle (beyond any port/link stall), and by how
+        #: much — the structural-congestion signal ``bench_topology.py``
+        #: reports.
+        self.fabric_stalls = 0
+        self.fabric_stalled_s = 0.0
         #: High-water mark of advisory pending records resident at once —
         #: with the bounded ring this is the timeline's whole variable-size
         #: footprint, which ``bench_sim_throughput.py`` reports.
@@ -282,6 +319,7 @@ class NicTimeline:
         nbytes: int = 0,
         *,
         ingest: bool = True,
+        path: Optional[PathSpec] = None,
     ) -> NicReservation:
         """Place one message of ``wire_s`` seconds on the timeline (send side).
 
@@ -295,6 +333,14 @@ class NicTimeline:
         inject-only books) skips the destination's advisory pending ledger —
         a message that will never be ingested must not look like receive-side
         backlog.
+
+        With a resolved ``path`` the message additionally binds the path's
+        NIC rail (advanced like a port) and every shared uplink bundle
+        (occupied for ``nbytes / bundle bandwidth``, the per-link discipline
+        on a shared fabric link); ``path=None`` runs the flat books above,
+        byte-identically.  The receive-side mirror rail (``path.ingest_rail``)
+        travels on the pending :class:`IngestRecord` and binds at
+        :meth:`ingest` time.
         """
         if wire_s < 0:
             raise NicError(f"wire time must be non-negative, got {wire_s}")
@@ -303,8 +349,26 @@ class NicTimeline:
             link_key = (source, dest)
             link = self._links.get(link_key, 0.0)
             start = max(ready, port, link)
+            rail_key: Optional[RailKey] = None
+            ingest_rail: Optional[RailKey] = None
+            if path is not None:
+                base = start
+                rail_key = path.rail
+                ingest_rail = path.ingest_rail
+                if rail_key is not None:
+                    start = max(start, self._rail_ports.get(rail_key, 0.0))
+                for share_key, _bandwidth in path.shared:
+                    start = max(start, self._shared_links.get(share_key, 0.0))
+                if start > base:
+                    self.fabric_stalls += 1
+                    self.fabric_stalled_s += start - base
             arrival = start + wire_s
             self._ports[source] = start + self.wire_overlap * wire_s
+            if rail_key is not None:
+                self._rail_ports[rail_key] = start + self.wire_overlap * wire_s
+            if path is not None:
+                for share_key, bandwidth in path.shared:
+                    self._shared_links[share_key] = start + nbytes / bandwidth
             self._links[link_key] = arrival
             self.reservations += 1
             seq = self._seqs.get(source, 0)
@@ -318,7 +382,8 @@ class NicTimeline:
                 self._ledger.append(source, dest, start, arrival, int(nbytes))
             if ingest and wire_s > 0 and self.pending_limit:
                 self._register_pending(
-                    dest, IngestRecord(start, source, seq, wire_s, arrival)
+                    dest,
+                    IngestRecord(start, source, seq, wire_s, arrival, ingest_rail),
                 )
             return NicReservation(
                 start=start,
@@ -375,6 +440,15 @@ class NicTimeline:
                 # *exactly*, and using the true wire-entry time rather than
                 # re-deriving it as arrival - wire (no float re-rounding).
                 landing = max(record.arrival, port + record.wire_s)
+                if record.rail is not None:
+                    # The shared receive-side rail mirrors the port rule in
+                    # its own cursor; the flat books never reach this branch.
+                    rail_port = self._ingest_rails.get(record.rail, 0.0)
+                    landing = max(landing, rail_port + record.wire_s)
+                    self._ingest_rails[record.rail] = (
+                        max(record.post_time, rail_port)
+                        + self.wire_overlap * record.wire_s
+                    )
                 port = max(record.post_time, port) + self.wire_overlap * record.wire_s
                 self.ingests += 1
                 stalled = landing - record.arrival
@@ -428,6 +502,26 @@ class NicTimeline:
         """Virtual time the ``(source, dest)`` link next frees up."""
         with self._lock:
             return self._links.get((source, dest), 0.0)
+
+    def rail_free_at(self, rail: RailKey) -> float:
+        """Virtual time the shared injection rail ``(node, rail)`` frees up."""
+        with self._lock:
+            return self._rail_ports.get(rail, 0.0)
+
+    def ingest_rail_free_at(self, rail: RailKey) -> float:
+        """Virtual time the shared receive-side rail ``(node, rail)`` frees up."""
+        with self._lock:
+            return self._ingest_rails.get(rail, 0.0)
+
+    def shared_free_at(self, key: ShareKey) -> float:
+        """Virtual time the shared uplink bundle ``key`` frees up.
+
+        A cross-rank read by construction — the bundle is shared fabric —
+        so pricing against it is exact only under a happens-before edge to
+        the contending posts, exactly like :meth:`ingest_backlog`.
+        """
+        with self._lock:
+            return self._shared_links.get(key, 0.0)
 
     def ingest_free_at(self, rank: int) -> float:
         """Virtual time rank ``rank``'s ingestion port next frees up.
@@ -488,14 +582,17 @@ class NicTimeline:
         """Hash of the priced ledger state, optionally scoped to one rank.
 
         With ``rank=None`` the digest covers every port/link/sequence cursor
-        and the occupancy counters.  With a rank it covers only the state
-        that rank's *own* calls advance — its injection and ingestion
-        cursors, its outgoing links, its sequence counter.  That scope is
-        what the runtime sanitizer checksums around selector pricing calls:
+        (including the topology rail and shared-uplink cursors) and the
+        occupancy counters.  With a rank it covers only the state that
+        rank's *own* calls advance — its injection and ingestion cursors,
+        its outgoing links, its sequence counter.  That scope is what the
+        runtime sanitizer checksums around selector pricing calls:
         concurrent traffic from other ranks only ever touches *their* keys
         (send side source-scoped, receive side receiver-committed), so the
         rank-scoped digest is immune to scheduling noise while any mutation
-        a pricing call leaks onto its own rank's state changes it.
+        a pricing call leaks onto its own rank's state changes it.  Rail and
+        uplink cursors are shared across ranks by construction, so they stay
+        out of the rank-scoped digest.
         """
         with self._lock:
             if rank is None:
@@ -505,6 +602,9 @@ class NicTimeline:
                         tuple(sorted(self._links.items())),
                         tuple(sorted(self._ingest_ports.items())),
                         tuple(sorted(self._seqs.items())),
+                        tuple(sorted(self._rail_ports.items())),
+                        tuple(sorted(self._ingest_rails.items())),
+                        tuple(sorted(self._shared_links.items())),
                         self._pending_total,
                         self.reservations,
                         self.ingests,
@@ -554,6 +654,9 @@ class NicTimeline:
             self._links.clear()
             self._ingest_ports.clear()
             self._seqs.clear()
+            self._rail_ports.clear()
+            self._ingest_rails.clear()
+            self._shared_links.clear()
             self._pending.clear()
             self._pending_total = 0
             self._ledger.clear()
@@ -563,6 +666,8 @@ class NicTimeline:
             self.ingests = 0
             self.ingest_stalls = 0
             self.ingest_stalled_s = 0.0
+            self.fabric_stalls = 0
+            self.fabric_stalled_s = 0.0
             self.peak_pending = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

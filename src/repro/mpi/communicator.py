@@ -189,6 +189,10 @@ class Communicator:
         return envelope.nbytes
 
     def _message_time(self, nbytes: int, peer: int, device: bool) -> float:
+        if self.topology is not None and self.topology.hierarchical:
+            return self.topology.message_time(
+                self.rank, peer, nbytes, device_buffers=device
+            )
         same_node = self.topology.same_node(self.rank, peer) if self.topology else True
         return self.network.message_time(nbytes, same_node=same_node, device_buffers=device)
 

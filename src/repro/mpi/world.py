@@ -25,7 +25,7 @@ from repro.gpu.runtime import CudaRuntime
 from repro.machine.network import NetworkModel
 from repro.machine.nic import NicTimeline
 from repro.machine.spec import SUMMIT, MachineSpec
-from repro.machine.topology import Topology
+from repro.machine.topology import Topology, TopologySpec
 from repro.mpi.communicator import Communicator
 from repro.mpi.errors import MpiError
 from repro.mpi.p2p import MessageRouter
@@ -64,12 +64,17 @@ class World:
         ranks_per_node: int = 1,
         machine: MachineSpec = SUMMIT,
         gpu_cost: Optional[GpuCostModel] = None,
+        topology: Optional[TopologySpec] = None,
     ) -> None:
         if nranks <= 0:
             raise MpiError(f"nranks must be positive, got {nranks}")
         self.nranks = nranks
         self.machine = machine
-        self.topology = Topology(nranks, ranks_per_node=ranks_per_node, machine=machine)
+        #: ``topology=`` overlays a hierarchical shape (islands, rails,
+        #: fat-tree) on the block placement; its ``ranks_per_node`` wins.
+        self.topology = Topology(
+            nranks, ranks_per_node=ranks_per_node, machine=machine, spec=topology
+        )
         self.network = NetworkModel(machine)
         #: The shared virtual NIC: one injection port per rank, one occupancy
         #: ledger per link, reserved by the TEMPI progress engine so that

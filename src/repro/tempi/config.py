@@ -14,6 +14,8 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterator, Optional
 
+from repro.machine.topology import TopologySpec
+
 
 class PackMethod(enum.Enum):
     """How a non-contiguous send is staged (Sec. 4)."""
@@ -141,6 +143,16 @@ class TempiConfig:
     #: knob defaults off; ``repro sanitize`` replays the figure benchmarks
     #: with it on (through :func:`sanitize_default`).
     sanitize: bool = field(default_factory=_default_sanitize)
+    #: Cluster topology the engine routes and prices against
+    #: (:class:`~repro.machine.topology.TopologySpec`): NVLink islands,
+    #: shared NIC rails and the two-level fat-tree with oversubscribed
+    #: uplinks.  ``None`` (the default) keeps the flat pre-topology books,
+    #: bit-identically; a *flat* spec (``TopologySpec.flat(...)``) routes
+    #: every post through path resolution but still reproduces the flat
+    #: books bit-for-bit (Hypothesis-pinned).  Hierarchical specs make the
+    #: wire price, the NIC binding and the contended selection all
+    #: per-path-class — ``bench_topology.py`` measures the divergence.
+    topology: Optional[TopologySpec] = None
     #: Where the system-measurement file lives; None keeps it in memory only.
     measurement_path: Optional[Path] = None
     #: Overhead charged per model query when the result is not cached, and

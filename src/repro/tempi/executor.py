@@ -292,6 +292,12 @@ class PlanExecutor:
     def _injection_overhead(self) -> float:
         return self.comm.network.message_cost(0, same_node=True, device_buffers=False).latency_s
 
+    def _wire_time(self, nbytes: int, peer: int, device: bool) -> float:
+        """Wire time to ``peer``; the engine's topology-aware pricing when bound."""
+        if self.engine is not None:
+            return self.engine.message_time(nbytes, peer, device)
+        return self.comm._message_time(nbytes, peer, device)
+
     def _run_local(self, plan: MessagePlan, staging: _StagingTracker) -> None:
         """Self-sections bounce through device staging without the wire."""
         pack_stage, unpack_stage = plan.local
@@ -315,9 +321,11 @@ class PlanExecutor:
         stream = self.cache.get_stream() if self.overlap else None
         try:
             payload, ready = self._pack_stage(stage, plan.send_buffer, staging, stream)
-            wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
+            wire = self._wire_time(post.nbytes, post.peer, payload.is_device)
             if self.overlap and self.engine is not None:
-                slot = self.engine.reserve_wire(post.peer, ready, wire, post.nbytes)
+                slot = self.engine.reserve_wire(
+                    post.peer, ready, wire, post.nbytes, device=payload.is_device
+                )
                 arrival = slot.arrival
                 self._post_slot(post.peer, plan.tag, payload, post.nbytes, slot)
             else:
@@ -350,9 +358,11 @@ class PlanExecutor:
         try:
             payload, ready = self._pack_stage(stage, plan.send_buffer, staging, stream)
             for post in plan.post_stages:
-                wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
+                wire = self._wire_time(post.nbytes, post.peer, payload.is_device)
                 if window is not None:
-                    slot = window.reserve_wire(post.peer, ready, wire, post.nbytes)
+                    slot = window.reserve_wire(
+                        post.peer, ready, wire, post.nbytes, device=payload.is_device
+                    )
                     self._post_slot(post.peer, plan.tag, payload, post.nbytes, slot)
                 else:
                     # The serial ablation prices each transfer independently,
@@ -440,8 +450,10 @@ class PlanExecutor:
                     else:
                         stream = post.pack.stream
                     payload, ready = pack_once(post.pack, stream)
-                    wire = comm._message_time(post.nbytes, post.peer, payload.is_device)
-                    slot = window.reserve_wire(post.peer, ready, wire, post.nbytes)
+                    wire = self._wire_time(post.nbytes, post.peer, payload.is_device)
+                    slot = window.reserve_wire(
+                        post.peer, ready, wire, post.nbytes, device=payload.is_device
+                    )
                     self._post_slot(post.peer, tag, payload, post.nbytes, slot)
                 if self.stats is not None:
                     self.stats.stages_overlapped += len(plan.pack_stages)

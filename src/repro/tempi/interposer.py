@@ -44,6 +44,7 @@ from typing import Optional
 from typing import Sequence
 
 from repro.gpu.memory import Buffer
+from repro.machine.topology import Topology
 from repro.mpi import collectives as _collectives
 from repro.mpi.collectives import _next_collective_tag
 from repro.mpi.communicator import Communicator, as_buffer
@@ -221,6 +222,21 @@ class TempiCommunicator:
         self.tempi = library if library is not None else Tempi(
             comm.gpu, comm.network.machine, config, model, registry
         )
+        #: Topology the engine routes against.  An explicit ``config.topology``
+        #: spec builds one over this communicator's size (repricing without
+        #: rebuilding the world); otherwise a hierarchical *world* topology is
+        #: adopted as-is; otherwise ``None`` — the flat pre-topology books,
+        #: with no path resolution on the hot path at all.
+        topology = None
+        if config.topology is not None:
+            topology = Topology(
+                comm.size, machine=comm.network.machine, spec=config.topology
+            )
+        else:
+            world_topology = getattr(comm, "topology", None)
+            if world_topology is not None and world_topology.hierarchical:
+                topology = world_topology
+        self._topology = topology
         self._engine = ProgressEngine(
             comm,
             self.tempi.cache,
@@ -230,6 +246,7 @@ class TempiCommunicator:
             batching=config.batch_eager_sends and config.overlap,
             batch_max_messages=config.batch_max_messages,
             nic=self._sanitizer_view,
+            topology=topology,
         )
         self._executor = PlanExecutor(
             comm,
@@ -250,6 +267,7 @@ class TempiCommunicator:
             nic=self._engine.nic,
             rank=comm.rank,
             stats=self.tempi.stats,
+            topology=topology,
         )
         #: Compiled-plan templates for repeated typed-collective shapes,
         #: owned per communicator (so keys never need to name the selector,

@@ -57,6 +57,7 @@ from typing import NamedTuple, Optional, Sequence
 
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
 from repro.machine.nic import IngestRecord, NicTimeline
+from repro.machine.topology import PathSpec, Topology
 from repro.mpi.p2p import Envelope
 from repro.mpi.request import Request
 from repro.mpi.status import Status
@@ -106,10 +107,12 @@ class PlanWindow:
         slot = self.reserve_wire(peer, ready, wire_s, nbytes)
         return slot.start, slot.arrival
 
-    def reserve_wire(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> WireSlot:
+    def reserve_wire(
+        self, peer: int, ready: float, wire_s: float, nbytes: int = 0, *, device: bool = True
+    ) -> WireSlot:
         """Place one message; returns the full :class:`WireSlot`."""
         if self._engine is not None and self._engine.shared:
-            return self._engine.reserve_wire(peer, ready, wire_s, nbytes)
+            return self._engine.reserve_wire(peer, ready, wire_s, nbytes, device=device)
         start = max(ready, self._nic_free)
         self._nic_free = start + self._wire_overlap * wire_s
         return WireSlot(start=start, arrival=start + wire_s, wire_s=wire_s, seq=-1)
@@ -170,6 +173,7 @@ class ProgressEngine:
         batch_max_messages: int = 8,
         wire_overlap: float = DEFAULT_WIRE_OVERLAP,
         nic: Optional[NicTimeline] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         if mode not in PROGRESS_MODES:
             raise ProgressError(
@@ -195,6 +199,13 @@ class ProgressEngine:
         self.batching = bool(batching) and mode == "shared"
         self.batch_max_messages = batch_max_messages
         self.eager_threshold = comm.network.machine.eager_threshold
+        #: Topology the engine routes against.  ``None`` keeps the flat
+        #: pre-topology books (no path resolution at all); a flat
+        #: :class:`~repro.machine.topology.Topology` routes every post
+        #: through path resolution but binds nothing (bit-identical,
+        #: Hypothesis-pinned); a hierarchical one makes the wire price and
+        #: the NIC binding per-path-class.
+        self.topology = topology
         self.executor = None
         self._batches: dict[tuple[int, bool], _Batch] = {}
 
@@ -224,23 +235,55 @@ class ProgressEngine:
             return PlanWindow(self, self.comm.clock.now, self.wire_overlap)
         return PlanWindow(None, self.comm.clock.now, self.wire_overlap)
 
-    def reserve(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> tuple[float, float]:
+    def message_time(self, nbytes: int, peer: int, device: bool) -> float:
+        """Wire time to ``peer``, priced along the engine's topology.
+
+        With no engine topology this is exactly the communicator's pricing
+        (which itself goes hierarchical when the *world* carries a
+        hierarchical topology); an engine topology — e.g. from
+        ``TempiConfig(topology=...)`` — overrides it, so a config-only
+        topology reprices without rebuilding the world.
+        """
+        if self.topology is not None and self.topology.hierarchical:
+            return self.topology.message_time(
+                self.comm.rank, peer, nbytes, device_buffers=device
+            )
+        return self.comm._message_time(nbytes, peer, device)
+
+    def _route(self, peer: int, device: bool) -> Optional[PathSpec]:
+        """The path a post to ``peer`` binds (``None`` without a topology).
+
+        Resolution is memoised inside :class:`~repro.machine.topology.Topology`
+        so the hot path is one dict probe; a *flat* topology resolves every
+        pair to an unbinding path, which the NIC prices bit-identically to
+        no path at all.
+        """
+        if self.topology is None:
+            return None
+        return self.topology.resolve(self.comm.rank, peer, device_buffers=device)
+
+    def reserve(
+        self, peer: int, ready: float, wire_s: float, nbytes: int = 0, *, device: bool = True
+    ) -> tuple[float, float]:
         """Reserve one message's wire slot; returns ``(start, arrival)``.
 
         In ``per_plan`` mode a lone message never contends (PR-2 semantics);
         in ``shared`` mode it queues on the rank's injection port and the
         per-peer link, and stalls are counted on the interposer stats.
         """
-        slot = self.reserve_wire(peer, ready, wire_s, nbytes)
+        slot = self.reserve_wire(peer, ready, wire_s, nbytes, device=device)
         return slot.start, slot.arrival
 
-    def reserve_wire(self, peer: int, ready: float, wire_s: float, nbytes: int = 0) -> WireSlot:
+    def reserve_wire(
+        self, peer: int, ready: float, wire_s: float, nbytes: int = 0, *, device: bool = True
+    ) -> WireSlot:
         """Reserve one message's wire slot; returns the full :class:`WireSlot`.
 
         The slot carries the NIC identity (``post_time``/``seq``) the
         executor stamps on the envelope, which is what lets the *receiving*
         rank commit the message to its ingestion port under duplex
-        accounting.
+        accounting.  ``device`` picks the wire path the route is resolved
+        for (GPU rails vs host rails); it only matters under a topology.
         """
         if not self.shared:
             return WireSlot(start=ready, arrival=ready + wire_s, wire_s=wire_s, seq=-1)
@@ -248,7 +291,8 @@ class ProgressEngine:
         # ledger: their messages are never ingested, so they must not look
         # like receive-side backlog to a duplex reader sharing the world.
         reservation = self.nic.reserve(
-            self.comm.rank, peer, ready, wire_s, nbytes, ingest=self.duplex
+            self.comm.rank, peer, ready, wire_s, nbytes, ingest=self.duplex,
+            path=self._route(peer, device),
         )
         if reservation.stalled and self.stats is not None:
             self.stats.contention_stalls += 1
@@ -260,15 +304,27 @@ class ProgressEngine:
         )
 
     # ------------------------------------------------------------- ingestion
-    @staticmethod
-    def _ingest_record(envelope: Envelope) -> IngestRecord:
-        """The receive-side NIC identity an envelope carries."""
+    def _ingest_record(self, envelope: Envelope) -> IngestRecord:
+        """The receive-side NIC identity an envelope carries.
+
+        Under a topology with shared rails, inter-node messages additionally
+        land on this rank's ingestion *rail* cursor — the same
+        ``(node, rail)`` key the sender's reservation pre-registered, since
+        both are pure functions of placement.  Intra-node traffic (and every
+        flat topology) binds no rail, keeping those books bit-identical.
+        """
+        rail = None
+        if self.topology is not None and not self.topology.same_node(
+            envelope.source, self.comm.rank
+        ):
+            rail = self.topology.rail_key(self.comm.rank)
         return IngestRecord(
             post_time=envelope.post_time,
             source=envelope.source,
             seq=envelope.source_seq,
             wire_s=envelope.wire_s,
             arrival=envelope.available_at,
+            rail=rail,
         )
 
     def _ingestable(self, envelope: Envelope) -> bool:
@@ -444,8 +500,10 @@ class ProgressEngine:
             # shares sum to the one wire message's occupancy), each envelope
             # carrying its own per-source seq so receive-side ordering stays
             # well defined.
-            wire = self.comm._message_time(batch.nbytes, batch.peer, batch.device)
-            slot = self.reserve_wire(batch.peer, batch.ready, wire, batch.nbytes)
+            wire = self.message_time(batch.nbytes, batch.peer, batch.device)
+            slot = self.reserve_wire(
+                batch.peer, batch.ready, wire, batch.nbytes, device=batch.device
+            )
             for index, entry in enumerate(batch.entries):
                 post = entry.plan.post_stages[0]
                 if slot.seq >= 0:

@@ -45,6 +45,7 @@ from contextlib import contextmanager
 from typing import Iterator, NamedTuple, Optional, Sequence
 
 from repro.machine.nic import IngestRecord, NicReservation, NicTimeline
+from repro.machine.topology import PathSpec
 
 #: Most post snapshots retained (FIFO eviction).  An evicted snapshot makes
 #: the happens-before audit *conservative* (the read is skipped), never
@@ -91,6 +92,7 @@ class ClockSanitizer:
         "barriers": 0,
         "hb_checks": 0,
         "purity_checks": 0,
+        "shared_commits": 0,
         "violations": 0,
     }
 
@@ -105,6 +107,10 @@ class ClockSanitizer:
         self._last_commit: dict[int, SanitizerEvent] = {}
         self._inject_cursor: dict[int, float] = {}
         self._ingest_cursor: dict[int, float] = {}
+        #: Last commit per shared topology cursor (NIC rails, leaf-uplink
+        #: bundles): the committing event, the committer's clock snapshot and
+        #: the cursor value — what the cross-rank audit compares against.
+        self._shared_last: dict[tuple, tuple[SanitizerEvent, dict[int, int], float]] = {}
         self._barrier_waiting: set[int] = set()
 
     # ------------------------------------------------------------- accounting
@@ -149,8 +155,16 @@ class ClockSanitizer:
         reservation: NicReservation,
         *,
         ingest: bool,
+        path: Optional[PathSpec] = None,
     ) -> None:
-        """Record one injection reservation; check port monotonicity."""
+        """Record one injection reservation; check port monotonicity.
+
+        A ``path`` that binds shared topology cursors (a NIC rail, leaf
+        uplink bundles) additionally runs the shared-cursor audit: the
+        cursor must not move backwards, and a commit racing another rank's
+        commit on the same cursor (no happens-before edge) is the
+        interleaving-dependence the topology determinism caveat forbids.
+        """
         with self._lock:
             self._mutations[source] = self._mutations.get(source, 0) + 1
             index = self._tick(source)
@@ -174,11 +188,55 @@ class ClockSanitizer:
                 )
             self._inject_cursor[source] = port_after
             self._last_post[source] = event
+            if path is not None:
+                cursors: list[tuple[str, object, float]] = []
+                if path.rail is not None:
+                    cursors.append(
+                        ("rail", path.rail, self.timeline.rail_free_at(path.rail))
+                    )
+                for share_key, _bandwidth in path.shared:
+                    cursors.append(
+                        ("fabric", share_key, self.timeline.shared_free_at(share_key))
+                    )
+                for label, key, cursor in cursors:
+                    self._shared_commit(source, event, label, key, cursor)
             if ingest and reservation.wire_s > 0:
                 key = (reservation.start, source, reservation.seq)
                 self._snapshots[key] = (event, dict(self._clock(source)))
                 while len(self._snapshots) > SNAPSHOT_LIMIT:
                     self._snapshots.popitem(last=False)
+
+    def _shared_commit(
+        self, rank: int, event: SanitizerEvent, label: str, key: object, cursor: float
+    ) -> None:
+        """Audit one commit to a shared topology cursor (lock held).
+
+        Shared cursors (NIC rails, uplink bundles) mix sources by design;
+        they stay deterministic only when cross-rank commits are ordered by
+        happens-before (barrier-phased drivers).  An unordered pair makes
+        the booked times interleaving-dependent, so it is a violation even
+        though each individual commit is monotone.
+        """
+        self._count("shared_commits")
+        previous = self._shared_last.get((label, key))
+        if previous is not None:
+            prev_event, prev_clock, prev_cursor = previous
+            if cursor < prev_cursor:
+                self._violation(
+                    f"shared {label} cursor {key!r} moved backwards "
+                    f"({prev_cursor:.9g} -> {cursor:.9g})",
+                    prev_event,
+                    event,
+                )
+            if prev_event.rank != rank and not _vc_leq(prev_clock, self._clock(rank)):
+                self._violation(
+                    f"rank {rank} committed to shared {label} cursor {key!r} "
+                    f"without a happens-before edge to rank {prev_event.rank}'s "
+                    "commit",
+                    prev_event,
+                    event,
+                )
+        self._shared_last[(label, key)] = (event, dict(self._clock(rank)), cursor)
 
     def on_next_seq(self, source: int) -> None:
         """Record a sequence-number allocation (a batched-send envelope)."""
@@ -216,6 +274,13 @@ class ClockSanitizer:
                 )
             self._ingest_cursor[dest] = cursor
             self._last_commit[dest] = event
+            # Ingestion rails mix node-mates the same way injection rails do;
+            # audit each distinct rail the batch landed on.
+            for rail in sorted({r.rail for r in records if r.rail is not None}):
+                self._shared_commit(
+                    dest, event, "ingest-rail", rail,
+                    self.timeline.ingest_rail_free_at(rail),
+                )
 
     def on_backlog_read(self, reader: int, dest: int, now: float) -> None:
         """Audit a cross-rank backlog read for happens-before coverage."""
@@ -289,6 +354,7 @@ class ClockSanitizer:
             self._last_commit.clear()
             self._inject_cursor.clear()
             self._ingest_cursor.clear()
+            self._shared_last.clear()
             self._barrier_waiting.clear()
 
 
@@ -317,12 +383,13 @@ class SanitizedNic:
         nbytes: int = 0,
         *,
         ingest: bool = True,
+        path: Optional[PathSpec] = None,
     ) -> NicReservation:
         """Reserve on the timeline and record the post event."""
         reservation = self._timeline.reserve(
-            source, dest, ready, wire_s, nbytes, ingest=ingest
+            source, dest, ready, wire_s, nbytes, ingest=ingest, path=path
         )
-        self._recorder.on_reserve(source, dest, reservation, ingest=ingest)
+        self._recorder.on_reserve(source, dest, reservation, ingest=ingest, path=path)
         return reservation
 
     def next_seq(self, source: int) -> int:

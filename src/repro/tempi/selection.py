@@ -61,6 +61,7 @@ from typing import Any, Callable, ContextManager, Dict, Optional, Protocol, Unio
 
 from repro.machine.nic import NicTimeline
 from repro.machine.spec import MachineSpec
+from repro.machine.topology import Topology
 from repro.tempi.config import SELECTION_MODES, PackMethod, TempiConfig
 from repro.tempi.measurement import SystemMeasurement, measure_system
 from repro.tempi.perf_model import PerformanceModel
@@ -106,9 +107,12 @@ class MethodSelector(Protocol):
 
 #: The pricing terms a contended candidate can be bound by, in tie-break
 #: priority order: its own pack kernel, this rank's injection-port backlog,
-#: the remaining occupancy of the link to the destination, or the
-#: destination's ingestion-port backlog (duplex accounting only).
-BACKLOG_PORTS = ("pack", "inject", "link", "ingest")
+#: the remaining occupancy of the link to the destination, the destination's
+#: ingestion-port backlog (duplex accounting only), this rank's shared NIC
+#: rail, or the shared leaf-uplink bundles on the path (both topology-aware
+#: selection only — appended last so every pre-topology tie breaks exactly
+#: as before).
+BACKLOG_PORTS = ("pack", "inject", "link", "ingest", "rail", "uplink")
 
 
 @dataclass(frozen=True)
@@ -137,6 +141,8 @@ class ContendedEstimate:
     backlog_s: float
     link_backlog_s: float = 0.0
     ingest_backlog_s: float = 0.0
+    rail_backlog_s: float = 0.0
+    uplink_backlog_s: float = 0.0
     oneshot_bound: str = "pack"
     device_bound: str = "pack"
 
@@ -157,44 +163,65 @@ def contended_estimate(
     *,
     link_backlog_s: float = 0.0,
     ingest_backlog_s: float = 0.0,
+    rail_backlog_s: float = 0.0,
+    uplink_backlog_s: float = 0.0,
+    oneshot_wire_s: Optional[float] = None,
+    device_wire_s: Optional[float] = None,
 ) -> ContendedEstimate:
     """Price the one-shot and device candidates under live NIC backlog.
 
     ``backlog_s`` is the sender's injection-port queue (the PR-4 term);
     ``link_backlog_s`` the remaining occupancy of the sender's link to the
-    destination; ``ingest_backlog_s`` the destination's ingestion-port queue.
-    All three default to zero, in which case the function is exactly the
-    PR-4 ``max(pack, backlog) + wire + unpack`` pricing.
+    destination; ``ingest_backlog_s`` the destination's ingestion-port queue;
+    ``rail_backlog_s`` the sender's shared NIC-rail queue and
+    ``uplink_backlog_s`` the worst shared leaf-uplink bundle on the path
+    (both zero outside a hierarchical topology).  All backlogs default to
+    zero, in which case the function is exactly the PR-4
+    ``max(pack, backlog) + wire + unpack`` pricing.  ``oneshot_wire_s`` /
+    ``device_wire_s`` replace the measured flat transfer time with a
+    path-resolved wire price (:meth:`~repro.machine.topology.Topology.message_time`),
+    which is what moves the Fig. 9 crossover per path class; ``None`` (the
+    default) keeps the flat ``model.transfer_time`` pricing bit-for-bit.
     """
     for name, value in (
         ("backlog", backlog_s),
         ("link backlog", link_backlog_s),
         ("ingest backlog", ingest_backlog_s),
+        ("rail backlog", rail_backlog_s),
+        ("uplink backlog", uplink_backlog_s),
     ):
         if value < 0:
             raise SelectionError(f"{name} must be non-negative, got {value}")
 
-    def candidate(strategy: str, wire_kind: str) -> tuple[float, str]:
+    def candidate(
+        strategy: str, wire_kind: str, wire_override: Optional[float]
+    ) -> tuple[float, str]:
         """One strategy's effective latency and its binding term."""
         pack = model.pack_time(strategy, "pack", nbytes, block_length)
-        terms = (pack, backlog_s, link_backlog_s, ingest_backlog_s)
+        terms = (
+            pack, backlog_s, link_backlog_s, ingest_backlog_s,
+            rail_backlog_s, uplink_backlog_s,
+        )
         entry = max(terms)
         bound = BACKLOG_PORTS[terms.index(entry)]
-        total = (
-            entry
-            + model.transfer_time(wire_kind, nbytes)
-            + model.pack_time(strategy, "unpack", nbytes, block_length)
+        wire = (
+            model.transfer_time(wire_kind, nbytes)
+            if wire_override is None
+            else wire_override
         )
+        total = entry + wire + model.pack_time(strategy, "unpack", nbytes, block_length)
         return total, bound
 
-    oneshot, oneshot_bound = candidate("oneshot", "cpu_cpu")
-    device, device_bound = candidate("device", "gpu_gpu")
+    oneshot, oneshot_bound = candidate("oneshot", "cpu_cpu", oneshot_wire_s)
+    device, device_bound = candidate("device", "gpu_gpu", device_wire_s)
     return ContendedEstimate(
         oneshot=oneshot,
         device=device,
         backlog_s=backlog_s,
         link_backlog_s=link_backlog_s,
         ingest_backlog_s=ingest_backlog_s,
+        rail_backlog_s=rail_backlog_s,
+        uplink_backlog_s=uplink_backlog_s,
         oneshot_bound=oneshot_bound,
         device_bound=device_bound,
     )
@@ -357,12 +384,18 @@ class ContendedSelector(ModelSelector):
         clock: Any = None,
         config: Optional[TempiConfig] = None,
         stats: Any = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         super().__init__(model, cache=cache, clock=clock, config=config, stats=stats)
         if nic is None:
             raise SelectionError("a contended selector needs the shared NIC timeline")
         self.nic = nic
         self.rank = rank
+        #: A *hierarchical* topology makes pricing per-path-class: the wire
+        #: term comes from the resolved path and the rail/uplink cursors join
+        #: the backlog max.  ``None`` or a flat topology keeps the flat
+        #: pricing bit-for-bit.
+        self.topology = topology
         #: Bounded LRU over quantized-backlog selection keys.  Unlike the
         #: unbounded resource-cache memo a long contended run cannot grow one
         #: entry per observed queue depth; ``config.selection_memo_size``
@@ -405,6 +438,43 @@ class ContendedSelector(ModelSelector):
         if peer is None or not self.duplex:
             return 0.0
         return self._quantise(self.nic.ingest_backlog(peer, self._now))
+
+    @property
+    def topology_aware(self) -> bool:
+        """True when a hierarchical topology reshapes the pricing."""
+        return self.topology is not None and self.topology.hierarchical
+
+    def rail_backlog(self, peer: Optional[int]) -> float:
+        """Queue on this rank's shared NIC rail toward ``peer`` (quantised).
+
+        The rail key is a pure function of placement (identical for host and
+        device wire paths), so the device-path resolution stands in for both.
+        Zero without a hierarchical topology, for intra-node peers, and for
+        dedicated (un-railed) NICs.
+        """
+        topology = self.topology
+        if peer is None or topology is None or not topology.hierarchical:
+            return 0.0
+        path = topology.resolve(self.rank, peer, device_buffers=True)
+        if path.rail is None:
+            return 0.0
+        return self._quantise(max(0.0, self.nic.rail_free_at(path.rail) - self._now))
+
+    def uplink_backlog(self, peer: Optional[int]) -> float:
+        """Worst shared leaf-uplink occupancy on the path to ``peer``.
+
+        Reads the shared fabric ledgers other ranks also write; like the
+        ingestion term this is exact for traffic whose posts happened-before
+        the selection (the barrier-phased drivers the benchmarks use).
+        """
+        topology = self.topology
+        if peer is None or topology is None or not topology.hierarchical:
+            return 0.0
+        path = topology.resolve(self.rank, peer, device_buffers=True)
+        worst = 0.0
+        for key, _bandwidth in path.shared:
+            worst = max(worst, self.nic.shared_free_at(key) - self._now)
+        return self._quantise(max(0.0, worst))
 
     def _pricing_guard(self) -> ContextManager[None]:
         """The NIC's pricing purity guard, when it offers one.
@@ -459,14 +529,35 @@ class ContendedSelector(ModelSelector):
         return value, False
 
     def __call__(self, packer: Any, nbytes: int, peer: Optional[int] = None) -> PackMethod:
-        """Select under live NIC backlog (identical to the model path at idle)."""
+        """Select under live NIC backlog (identical to the model path at idle).
+
+        With a hierarchical topology and a known ``peer`` the zero-backlog
+        short-circuit is disabled: even an idle NIC prices the two candidates
+        along the *resolved path* (intra-island NVLink vs cross-switch rail),
+        so the crossover differs per path class — the divergence
+        ``bench_topology.py`` measures.
+        """
         if nbytes <= 0:
             return NOOP_METHOD
         with self._pricing_guard():
             backlog = self.backlog()
             link = self.link_backlog(peer)
             ingest = self.ingest_backlog(peer)
-            if backlog <= 0.0 and link <= 0.0 and ingest <= 0.0:
+            rail = self.rail_backlog(peer)
+            uplink = self.uplink_backlog(peer)
+            oneshot_wire: Optional[float] = None
+            device_wire: Optional[float] = None
+            kind: Optional[str] = None
+            topology = self.topology
+            if peer is not None and topology is not None and topology.hierarchical:
+                oneshot_wire = topology.message_time(
+                    self.rank, peer, int(nbytes), device_buffers=False
+                )
+                device_wire = topology.message_time(
+                    self.rank, peer, int(nbytes), device_buffers=True
+                )
+                kind = topology.resolve(self.rank, peer, device_buffers=True).kind
+            elif backlog <= 0.0 and link <= 0.0 and ingest <= 0.0:
                 return super().__call__(packer, nbytes)
             block_length = packer.block.block_length
             method, cached = self._contended_memoize(
@@ -477,6 +568,11 @@ class ContendedSelector(ModelSelector):
                     float(backlog),
                     float(link),
                     float(ingest),
+                    float(rail),
+                    float(uplink),
+                    # The path class (with nbytes) determines both wire
+                    # overrides, so it closes the key over them.
+                    kind,
                 ),
                 lambda: contended_estimate(
                     self.model,
@@ -485,6 +581,10 @@ class ContendedSelector(ModelSelector):
                     backlog,
                     link_backlog_s=link,
                     ingest_backlog_s=ingest,
+                    rail_backlog_s=rail,
+                    uplink_backlog_s=uplink,
+                    oneshot_wire_s=oneshot_wire,
+                    device_wire_s=device_wire,
                 ).best(),
             )
         self._charge(cached)
@@ -500,6 +600,7 @@ def make_selector(
     nic: Optional[NicTimeline] = None,
     rank: int = 0,
     stats: Any = None,
+    topology: Optional[Topology] = None,
 ) -> MethodSelector:
     """Build the selector ``config`` asks for (the interposer's factory).
 
@@ -518,7 +619,8 @@ def make_selector(
         raise SelectionError("selection='fixed' needs a concrete config.method")
     if config.selection == "contended" and nic is not None:
         return ContendedSelector(
-            model, nic, rank, cache=cache, clock=clock, config=config, stats=stats
+            model, nic, rank, cache=cache, clock=clock, config=config, stats=stats,
+            topology=topology,
         )
     return ModelSelector(model, cache=cache, clock=clock, config=config, stats=stats)
 

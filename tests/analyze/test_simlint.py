@@ -191,6 +191,58 @@ class TestSim003UnorderedIteration:
         })
         assert codes(findings) == ["SIM003"]
 
+    def test_rail_cursor_accumulation_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/machine/fabric.py": """\
+                class Fabric:
+                    def busy(self):
+                        total = 0.0
+                        for free_at in self._rail_ports.values():
+                            total += free_at
+                        return total
+            """,
+        })
+        assert codes(findings) == ["SIM003"]
+
+    def test_shared_uplink_recurrence_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/machine/fabric.py": """\
+                class Fabric:
+                    def horizon(self):
+                        last = 0.0
+                        for key in self._shared_links:
+                            last = max(last, self._shared_links[key])
+                        return last
+            """,
+        })
+        assert codes(findings) == ["SIM003"]
+
+    def test_path_cache_accumulation_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/machine/routes.py": """\
+                class Router:
+                    def latency_floor(self):
+                        floor = 0.0
+                        for path in self._paths.values():
+                            floor += path.latency_s
+                        return floor
+            """,
+        })
+        assert codes(findings) == ["SIM003"]
+
+    def test_sorted_rail_iteration_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/machine/fabric.py": """\
+                class Fabric:
+                    def busy(self):
+                        total = 0.0
+                        for key in sorted(self._ingest_rails):
+                            total += self._ingest_rails[key]
+                        return total
+            """,
+        })
+        assert findings == []
+
     def test_sorted_iteration_is_clean(self, tmp_path):
         findings = lint_tree(tmp_path, {
             "src/repro/machine/ledger.py": """\

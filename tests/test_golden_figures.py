@@ -1,8 +1,9 @@
 """Golden replay: the figure benchmarks price bit-identically, forever.
 
 ``tests/fixtures/golden_figures.json`` freezes small sweeps of the Fig. 9
-burst selection, the Fig. 14 overlap latencies and the Fig. 15 contention
-efficiency (see ``tools/make_golden_fixtures.py``).  This tier-1 test
+burst selection, the Fig. 14 overlap latencies, the Fig. 15 contention
+efficiency and the incast receiver-side pricing (see
+``tools/make_golden_fixtures.py``).  This tier-1 test
 reruns the exact same sweeps and compares under **exact equality** — the
 simulated figures are pure virtual-clock arithmetic, so even a one-ulp
 drift means a change leaked into the priced model.  The fast-path caches

@@ -139,6 +139,8 @@ SIM003_SCOPE_PREFIXES = ("src/repro/machine/", "src/repro/tempi/")
 #: Terminal names of the rank-keyed ledger dictionaries whose *insertion*
 #: order is wall-clock-dependent (threads interleave their inserts); loops
 #: that accumulate over their views must sort by an explicit key first.
+#: The topology maps (NIC-rail and shared-uplink cursors, the memoised path
+#: cache) are rank/rail-keyed the same way: first-use order is scheduling.
 RANK_KEYED_DICTS = frozenset(
     {
         "_ports",
@@ -149,6 +151,10 @@ RANK_KEYED_DICTS = frozenset(
         "pending",
         "_batches",
         "batches",
+        "_rail_ports",
+        "_ingest_rails",
+        "_shared_links",
+        "_paths",
     }
 )
 

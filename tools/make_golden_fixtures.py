@@ -2,10 +2,13 @@
 
 The figure benchmarks are deterministic: simulated latencies derive from
 virtual clocks and the shared NIC's arithmetic, never from wall-clock or
-thread timing.  This script freezes small sweeps of three of them —
+thread timing.  This script freezes small sweeps of four of them —
 ``bench_fig9_selection`` (burst selection), ``bench_fig14_overlap``
-(overlap latencies) and ``bench_fig15_contention`` (concurrent-plan
-contention) — into ``tests/fixtures/golden_figures.json``, and
+(overlap latencies), ``bench_fig15_contention`` (concurrent-plan
+contention) and ``bench_incast`` (receiver-side ingestion pricing; the
+sender flows are symmetric, so the receiver's completion clock and stall
+counts are independent of thread scheduling) — into
+``tests/fixtures/golden_figures.json``, and
 ``tests/test_golden_figures.py`` replays them under exact equality every
 tier-1 run.  Any change that moves a priced figure value — however small —
 fails the replay and must either be a bug or come with a deliberate
@@ -31,6 +34,7 @@ FIG9_LOADS = (0, 4)
 FIG9_BURSTS = (0, 2)
 FIG14_RANKS = (2, 4)
 FIG15_PLANS = (1, 2)
+INCAST_SENDERS = (1, 2, 4)
 
 
 def build_fixture(model) -> dict:
@@ -40,6 +44,7 @@ def build_fixture(model) -> dict:
         import bench_fig9_selection as fig9
         import bench_fig14_overlap as fig14
         import bench_fig15_contention as fig15
+        import bench_incast as incast
     finally:
         sys.path.remove(str(BENCHMARKS))
 
@@ -55,6 +60,16 @@ def build_fixture(model) -> dict:
         for nranks in FIG14_RANKS
     }
     contention = fig15.run_sweep(FIG15_PLANS, model)
+    incasts = {
+        str(senders): {
+            "duplex": row["duplex"],
+            "inject": row["inject"],
+            "duplex_stalls": row["duplex_stalls"],
+            "analytic": row["analytic"].completion_s,
+            "efficiency": row["efficiency"],
+        }
+        for senders, row in incast.run_incasts(INCAST_SENDERS, model).items()
+    }
 
     return {
         "schema": 1,
@@ -67,6 +82,7 @@ def build_fixture(model) -> dict:
         },
         "fig14": overlap,
         "fig15": {str(plans): row for plans, row in contention.items()},
+        "incast": incasts,
     }
 
 
