@@ -165,6 +165,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--topology", default=None,
                      help="add a hierarchical sweep leg: 'fabric' (the built-in "
                           "fat-tree preset) or a TopologySpec JSON file")
+    sim.add_argument("--profile", action="store_true",
+                     help="cProfile the booking loop at the largest requested rank "
+                          "count (scalar and batched legs, top 20 by cumulative time) "
+                          "instead of sweeping")
     return parser
 
 
@@ -474,11 +478,15 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
     import json
 
     from repro.bench.simthroughput import (
+        CACHED_CONFIG,
         FABRIC_SPEC,
         FULL_RANKS,
         HALO_DEGREE,
         SMOKE_RANKS,
+        _cached_iters,
         check_sweep,
+        default_model,
+        profile_drive,
         render_table,
         run_sweep,
     )
@@ -508,6 +516,15 @@ def _cmd_bench_sim(args: argparse.Namespace) -> int:
             print("error: --topology needs a hierarchical spec (flat is the base leg)",
                   file=sys.stderr)
             return 2
+    if args.profile:
+        nranks = max(rank_counts)
+        iters = _cached_iters(nranks)
+        model = default_model()
+        for booking in ("scalar", "batched"):
+            print(f"profile — {booking} booking, {nranks} ranks, {iters} rounds")
+            print(profile_drive(nranks, CACHED_CONFIG, model, iters=iters,
+                                topology=spec, booking=booking))
+        return 0
     results = run_sweep(rank_counts)
     print("simulator throughput — eager vs cached control plane (wall-clock)")
     print(render_table(results))

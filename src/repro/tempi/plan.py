@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from itertools import count as _count
 from typing import Hashable, Optional, Sequence
 
 from repro.gpu.memory import Buffer, MemoryKind
@@ -445,7 +446,7 @@ class PlanTemplate:
                   *, handlers=(), retained=()) -> "PlanTemplate":
         """Capture a freshly compiled plan and its selection transcript."""
         index = {id(stage): i for i, stage in enumerate(plan.pack_stages)}
-        return cls(
+        template = cls(
             op=plan.op,
             nonblocking=plan.nonblocking,
             pack_stages=tuple(plan.pack_stages),
@@ -459,10 +460,99 @@ class PlanTemplate:
             handlers=tuple(handlers),
             retained=tuple(retained),
         )
+        # Fill the steady-state caches at capture time: every plan-cache hit
+        # reads them, so lazily building them on the first hit just moves a
+        # cold branch onto the hot path.
+        template.class_runs()
+        template.steady_method_counts()
+        template._steady_post_stages()
+        return template
 
-    def replay(self, select: MethodSelector) -> list[PackMethod]:
-        """Re-run the recorded selector calls (same order, same charges)."""
-        return [select(packer, nbytes, peer) for packer, nbytes, peer in self.selections]
+    def class_runs(self) -> tuple:
+        """Consecutive transcript runs over one equivalence class.
+
+        Each run is ``(packer, nbytes, peer, count)`` — maximal stretches of
+        the recorded transcript sharing one ``(nbytes, block_length)`` class.
+        The transcript is immutable, so the grouping is computed once and
+        cached on the template (the batched replay is a per-hit hot path).
+        """
+        runs = getattr(self, "_class_runs", None)
+        if runs is None:
+            built = []
+            calls = self.selections
+            total = len(calls)
+            i = 0
+            while i < total:
+                packer, nbytes, peer = calls[i]
+                block_length = packer.block.block_length
+                j = i + 1
+                while (
+                    j < total
+                    and calls[j][1] == nbytes
+                    and calls[j][0].block.block_length == block_length
+                ):
+                    j += 1
+                built.append((packer, nbytes, peer, j - i))
+                i = j
+            runs = tuple(built)
+            object.__setattr__(self, "_class_runs", runs)
+        return runs
+
+    def replay(self, select: MethodSelector, *, batched: bool = False) -> list[PackMethod]:
+        """Re-run the recorded selector calls (same order, same charges).
+
+        With ``batched`` and a peer-invariant selector, consecutive transcript
+        runs over one equivalence class — same ``nbytes``, same block length —
+        collapse into a single :meth:`~repro.tempi.selection.ModelSelector.select_many`
+        call, which prices the representative once and replays the per-member
+        charges, so the returned methods *and* the priced clock match the
+        scalar replay bit for bit.  Peer-dependent selectors (or selectors
+        without ``select_many``) always take the scalar loop.
+        """
+        if (
+            not batched
+            or not getattr(select, "peer_invariant", False)
+            or not hasattr(select, "select_many")
+        ):
+            return [select(packer, nbytes, peer) for packer, nbytes, peer in self.selections]
+        methods: list[PackMethod] = []
+        for packer, nbytes, peer, count in self.class_runs():
+            method = select.select_many(packer, nbytes, peer, count=count)
+            methods.extend([method] * count)
+        return methods
+
+    def steady_method_counts(self) -> dict[str, int]:
+        """Wire messages per recorded method, cached on the template.
+
+        Equals ``materialize(self.methods, ...).method_counts()`` — valid for
+        folding into stats whenever a replay returned the recorded transcript
+        (the steady state), sparing the per-hit dict rebuild.
+        """
+        counts = getattr(self, "_steady_counts", None)
+        if counts is None:
+            counts = {}
+            for _, _, i in self.post_specs:
+                name = self.pack_stages[i].method.value
+                counts[name] = counts.get(name, 0) + 1
+            object.__setattr__(self, "_steady_counts", counts)
+        return counts
+
+    def _steady_post_stages(self) -> tuple:
+        """The post-stage list of a steady-state materialization, cached.
+
+        Post stages are immutable ``(peer, nbytes, pack)`` triples over the
+        *shared* pack stages, so when a replay keeps the recorded methods the
+        same objects can serve every materialization.
+        """
+        posts = getattr(self, "_steady_posts", None)
+        if posts is None:
+            packs = self.pack_stages
+            posts = tuple(
+                PostStage(peer=peer, nbytes=nbytes, pack=packs[i])
+                for peer, nbytes, i in self.post_specs
+            )
+            object.__setattr__(self, "_steady_posts", posts)
+        return posts
 
     @staticmethod
     def _rebind(stage, method: PackMethod):
@@ -498,6 +588,7 @@ class PlanTemplate:
         if methods == self.methods:
             packs: Sequence[PackStage] = self.pack_stages
             unpacks: Sequence[UnpackStage] = self.unpack_stages
+            posts: Sequence[PostStage] = self._steady_post_stages()
         else:
             npack = len(self.pack_stages)
             packs = [
@@ -508,15 +599,16 @@ class PlanTemplate:
                 self._rebind(stage, method)
                 for stage, method in zip(self.unpack_stages, methods[npack:])
             ]
+            posts = [
+                PostStage(peer=peer, nbytes=nbytes, pack=packs[i])
+                for peer, nbytes, i in self.post_specs
+            ]
         return MessagePlan(
             op=self.op,
             send_buffer=send_buffer,
             recv_buffer=recv_buffer,
             pack_stages=list(packs),
-            post_stages=[
-                PostStage(peer=peer, nbytes=nbytes, pack=packs[i])
-                for peer, nbytes, i in self.post_specs
-            ],
+            post_stages=list(posts),
             unpack_stages=list(unpacks),
             local=self.local,
             nonblocking=self.nonblocking,
@@ -536,11 +628,22 @@ class PlanCache:
     ``clear()`` is the explicit invalidation hook.
     """
 
+    #: Process-wide generation source: every mutation of *any* cache takes a
+    #: fresh value, so a generation captured from one cache instance can
+    #: never collide with another instance's (or a later state of its own).
+    _generations = _count()
+
     def __init__(self, size: int = 256) -> None:
         if size < 1:
             raise PlanError(f"plan cache size must be >= 1, got {size}")
         self.size = size
         self._entries: "OrderedDict[Hashable, PlanTemplate]" = OrderedDict()
+        #: Changes on every ``put``/``clear`` (the only ways an entry can
+        #: appear, move out by eviction, or vanish).  A caller that captured
+        #: ``(key, template, generation)`` may treat an unchanged generation
+        #: as proof the entry is still cached — the interposer's single-slot
+        #: compile memo rides on this.
+        self.generation = next(PlanCache._generations)
 
     def get(self, key: Hashable) -> Optional[PlanTemplate]:
         """The template for ``key`` (refreshing its LRU position), or None."""
@@ -549,16 +652,22 @@ class PlanCache:
             self._entries.move_to_end(key)
         return template
 
+    def touch(self, key: Hashable) -> None:
+        """Refresh a *known-present* key's LRU position (memoized hits)."""
+        self._entries.move_to_end(key)
+
     def put(self, key: Hashable, template: PlanTemplate) -> None:
         """Retain ``template``, evicting the least recently used beyond size."""
         self._entries[key] = template
         self._entries.move_to_end(key)
         while len(self._entries) > self.size:
             self._entries.popitem(last=False)
+        self.generation = next(PlanCache._generations)
 
     def clear(self) -> None:
         """Drop every template (explicit invalidation)."""
         self._entries.clear()
+        self.generation = next(PlanCache._generations)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -55,6 +55,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence
 
+import numpy as np
+
 from repro.machine.network import DEFAULT_WIRE_OVERLAP
 from repro.machine.nic import IngestRecord, NicTimeline
 from repro.machine.topology import PathSpec, Topology
@@ -171,6 +173,8 @@ class ProgressEngine:
         nic_mode: str = "duplex",
         batching: bool = True,
         batch_max_messages: int = 8,
+        batch_booking: bool = True,
+        batch_min_messages: int = 4,
         wire_overlap: float = DEFAULT_WIRE_OVERLAP,
         nic: Optional[NicTimeline] = None,
         topology: Optional[Topology] = None,
@@ -185,6 +189,8 @@ class ProgressEngine:
             )
         if batch_max_messages < 1:
             raise ProgressError("batch_max_messages must be at least 1")
+        if batch_min_messages < 1:
+            raise ProgressError("batch_min_messages must be at least 1")
         self.comm = comm
         self.cache = cache
         self.stats = stats
@@ -198,6 +204,11 @@ class ProgressEngine:
         #: shared timeline prices them; per-plan mode is the PR-2 ablation.
         self.batching = bool(batching) and mode == "shared"
         self.batch_max_messages = batch_max_messages
+        #: Vectorized batch booking for homogeneous exchanges
+        #: (``TempiConfig.batch_booking``): gated again per exchange by
+        #: :meth:`batch_ready`, and structurally by :attr:`batch_capable`.
+        self.batch_booking = bool(batch_booking)
+        self.batch_min_messages = batch_min_messages
         self.eager_threshold = comm.network.machine.eager_threshold
         #: Topology the engine routes against.  ``None`` keeps the flat
         #: pre-topology books (no path resolution at all); a flat
@@ -302,6 +313,71 @@ class ProgressEngine:
             wire_s=wire_s,
             seq=reservation.seq,
         )
+
+    @property
+    def batch_capable(self) -> bool:
+        """True when batched booking may engage at all.
+
+        Requires the knob, the shared timeline, and a *plain*
+        :class:`~repro.machine.nic.NicTimeline`: under the clock sanitizer the
+        engine holds a recording proxy whose audit hooks wrap the scalar
+        entry points, and a batch call would silently bypass them — so
+        sanitized runs (and any other instrumented timeline) fall back to
+        scalar booking automatically.
+        """
+        return (
+            self.batch_booking
+            and self.shared
+            and isinstance(self.nic, NicTimeline)
+        )
+
+    def batch_ready(self, count: int) -> bool:
+        """True when a ``count``-message exchange should book as one batch."""
+        return count >= self.batch_min_messages and self.batch_capable
+
+    def reserve_wire_batch(
+        self,
+        peers: Sequence[int],
+        ready: Sequence[float],
+        wire_s: Sequence[float],
+        nbytes: int,
+        *,
+        device: bool = True,
+    ) -> list[WireSlot]:
+        """Reserve one homogeneous exchange's wire slots in a single call.
+
+        Exactly :meth:`reserve_wire` per entry — same cursors, same stall
+        accounting, same envelope identities — but priced through
+        :meth:`~repro.machine.nic.NicTimeline.reserve_batch`, which runs the
+        scalar rules as numpy column steps (or a serialised in-lock loop when
+        the route couples messages).  Callers gate on :meth:`batch_ready`.
+        """
+        if not self.shared:
+            return [
+                WireSlot(start=r, arrival=r + w, wire_s=w, seq=-1)
+                for r, w in zip(ready, wire_s)
+            ]
+        paths = [self._route(peer, device) for peer in peers]
+        batch = self.nic.reserve_batch(
+            [self.comm.rank],
+            np.asarray([peers], dtype=np.int64),
+            np.asarray([ready], dtype=np.float64),
+            np.asarray([wire_s], dtype=np.float64),
+            int(nbytes),
+            ingest=self.duplex,
+            paths=[paths] if any(path is not None for path in paths) else None,
+        )
+        if self.stats is not None:
+            self.stats.contention_stalls += int(
+                np.count_nonzero(batch.stalled_s[0] > 0)
+            )
+        starts = batch.start[0].tolist()
+        arrivals = batch.arrival[0].tolist()
+        seqs = batch.seq[0].tolist()
+        return [
+            WireSlot(start=start, arrival=arrival, wire_s=w, seq=seq)
+            for start, arrival, w, seq in zip(starts, arrivals, wire_s, seqs)
+        ]
 
     # ------------------------------------------------------------- ingestion
     def _ingest_record(self, envelope: Envelope) -> IngestRecord:

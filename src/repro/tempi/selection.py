@@ -234,6 +234,11 @@ def contended_estimate(
 class FixedSelector:
     """Always the configured method — ``TEMPI_PLACE_*``-style forcing."""
 
+    #: Decisions ignore ``peer`` entirely, so one selection prices a whole
+    #: equivalence class (the batch-booking contract :meth:`select_many`
+    #: relies on).
+    peer_invariant = True
+
     def __init__(self, method: PackMethod) -> None:
         if method is PackMethod.AUTO:
             raise SelectionError("a fixed selector needs a concrete method, not AUTO")
@@ -244,6 +249,12 @@ class FixedSelector:
         if nbytes <= 0:
             return NOOP_METHOD
         return self.method
+
+    def select_many(
+        self, packer: Any, nbytes: int, peer: Optional[int] = None, count: int = 1
+    ) -> PackMethod:
+        """Select for ``count`` same-shape messages — free, nothing is priced."""
+        return self(packer, nbytes, peer)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<FixedSelector {self.method.value}>"
@@ -260,6 +271,11 @@ class ModelSelector:
     zero-argument callable producing one (so construction never forces the
     measurement sweep).
     """
+
+    #: The contention-free decision is a pure function of
+    #: ``(nbytes, block_length)`` — ``peer`` never participates — so one
+    #: representative prices a whole homogeneous batch (:meth:`select_many`).
+    peer_invariant = True
 
     def __init__(
         self,
@@ -343,6 +359,80 @@ class ModelSelector:
         self._charge(cached)
         return method
 
+    def select_many(
+        self, packer: Any, nbytes: int, peer: Optional[int] = None, count: int = 1
+    ) -> PackMethod:
+        """Select once for ``count`` same-shape messages, replaying the charges.
+
+        Defined as exactly ``count`` scalar calls: the representative call
+        runs first (memoising the decision, charging hit or miss as the cache
+        finds it), and because the decision for a ``(nbytes, block_length)``
+        class is then guaranteed memoised, members ``2..count`` are replayed
+        as the bookkeeping a scalar hit performs — one cache query hit, one
+        memo-hit note and one cached-query clock charge each, with the clock
+        advanced *per member* so event counts (and thus priced clocks) cannot
+        drift from the loop.  When the memo cannot guarantee hits (cache off
+        or absent, ``selection_memo`` disabled) the members simply run as the
+        scalar loop.
+        """
+        if nbytes <= 0:
+            return NOOP_METHOD
+        cache = self.cache
+        replayable = (
+            self.peer_invariant
+            and cache is not None
+            and cache.enabled
+            and self.config.selection_memo
+        )
+        if replayable:
+            # Fast path: probe the memo store directly.  A present key means
+            # the representative and every member would each replay as one
+            # scalar hit — one query hit, one memo-hit note and one
+            # cached-query clock charge — so writing those books ``count``
+            # times here is bit-identical to the decomposition below, minus
+            # the per-member call chain.  An absent key falls through to the
+            # representative call, which memoises and charges the miss.
+            value = cache._queries.get(
+                ("method", int(nbytes), int(packer.block.block_length))
+            )
+            if value is not None:
+                cache.stats.query_hits += count
+                if self.stats is not None:
+                    self.stats.selection_memo_hits += count
+                clock = self.clock
+                if clock is not None:
+                    cost = self.config.model_cached_query_s
+                    if cost < 0:
+                        clock.advance(cost)  # raises ClockError, as the loop would
+                    # Unrolled clock.advance(cost) x count: the same serial
+                    # float additions (and event count) a per-member advance
+                    # loop performs, without the per-call overhead.
+                    now = clock.now
+                    for _ in range(count):
+                        now += cost
+                    clock.now = now
+                    clock._events += count
+                return cast(PackMethod, value)
+        method = self(packer, nbytes, peer)
+        extra = count - 1
+        if extra <= 0:
+            return method
+        if not replayable:
+            for _ in range(extra):
+                method = self(packer, nbytes, peer)
+            return method
+        self.cache.stats.query_hits += extra
+        if self.stats is not None:
+            self.stats.selection_memo_hits += extra
+        clock = self.clock
+        if clock is not None:
+            # Inlined self._charge(True) per member: the clock must advance
+            # once per replayed query so event counts match the scalar loop.
+            cost = self.config.model_cached_query_s
+            for _ in range(extra):
+                clock.advance(cost)
+        return method
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__}>"
 
@@ -373,6 +463,12 @@ class ContendedSelector(ModelSelector):
     posts happened-before the selection (e.g. across a barrier), which is
     how ``bench_incast.py`` drives them.
     """
+
+    #: Pricing reads the link to — and the ingestion backlog of — the
+    #: specific ``peer`` at the *current* clock, so no single representative
+    #: can stand in for a batch: :meth:`select_many` degrades to the scalar
+    #: loop and the batched post path never engages.
+    peer_invariant = False
 
     def __init__(
         self,

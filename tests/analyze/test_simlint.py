@@ -230,6 +230,43 @@ class TestSim003UnorderedIteration:
         })
         assert codes(findings) == ["SIM003"]
 
+    def test_batch_class_count_accumulation_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/tempi/replay.py": """\
+                class Replay:
+                    def charge(self, clock, costs):
+                        for name, hits in self._steady_counts.items():
+                            clock += hits * costs[name]
+                        return clock
+            """,
+        })
+        assert codes(findings) == ["SIM003"]
+
+    def test_method_count_recurrence_fires(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/tempi/stats.py": """\
+                class Stats:
+                    def dominant(self):
+                        best = 0
+                        for hits in self.method_counts.values():
+                            best = max(best, best + hits)
+                        return best
+            """,
+        })
+        assert codes(findings) == ["SIM003"]
+
+    def test_sorted_batch_class_iteration_is_clean(self, tmp_path):
+        findings = lint_tree(tmp_path, {
+            "src/repro/tempi/replay.py": """\
+                class Replay:
+                    def charge(self, clock, costs):
+                        for name in sorted(self._steady_counts):
+                            clock += self._steady_counts[name] * costs[name]
+                        return clock
+            """,
+        })
+        assert findings == []
+
     def test_sorted_rail_iteration_is_clean(self, tmp_path):
         findings = lint_tree(tmp_path, {
             "src/repro/machine/fabric.py": """\

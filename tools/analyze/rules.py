@@ -155,6 +155,13 @@ RANK_KEYED_DICTS = frozenset(
         "_ingest_rails",
         "_shared_links",
         "_paths",
+        # Batch-booking grouping maps: per-equivalence-class counts captured
+        # on plan templates and folded into the stats books by the batched
+        # replay.  The classes themselves are discovered in transcript order,
+        # but the maps are plain dicts — any loop that accumulates over their
+        # views must sort by an explicit key first.
+        "_steady_counts",
+        "method_counts",
     }
 )
 
