@@ -840,3 +840,332 @@ def halo_exchange_speedup(
         nodes, ranks_per_node, spec=spec, machine=machine, tempi=True
     )
     return baseline.total_s / accelerated.total_s
+
+
+# --------------------------------------------------------------------------- #
+# ML-training workloads (allreduce / MoE dispatch / pipeline chain)
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class AllreduceBreakdown:
+    """Modelled timeline of one allreduce schedule (max across ranks)."""
+
+    nranks: int
+    nbytes: int
+    algorithm: str
+    #: Rounds of the schedule (the critical path's length in hops).
+    rounds: int
+    #: Total element-wise combine seconds charged at the slowest rank.
+    reduce_s: float
+    #: The slowest rank's clock when its vector is fully reduced.
+    completion_s: float
+
+
+def _allreduce_wire(src, dst, nbytes, network, topology, ranks_per_node):
+    if topology is not None and topology.hierarchical:
+        return topology.message_time(src, dst, nbytes, device_buffers=True)
+    same_node = (src // ranks_per_node) == (dst // ranks_per_node)
+    return network.message_time(nbytes, same_node=same_node, device_buffers=True)
+
+
+def model_allreduce(
+    nranks: int,
+    count: int,
+    element_size: int = 4,
+    *,
+    algorithm: str = "ring",
+    machine: MachineSpec = SUMMIT,
+    topology: Topology | None = None,
+    ranks_per_node: int = 2,
+) -> AllreduceBreakdown:
+    """Price one allreduce schedule by walking the *same* round lists the
+    plan compiler emits (:mod:`repro.tempi.plan`), so the twin can never
+    disagree with the simulated path about who sends what when.
+
+    Every round's posts are priced from the sender's current clock, every
+    receive lands at post + wire (the topology's path-class wire when a
+    hierarchical ``topology`` is given), and every combining receive charges
+    the unpack-priced reduction kernel — the exact charge schedule
+    :meth:`~repro.tempi.executor.PlanExecutor` applies, minus the
+    per-call interposition overheads.  The lockstep round walk makes it
+    analytic: no buffers move, rank counts are free.
+    """
+    from repro.tempi.plan import (
+        hierarchical_allreduce_schedule,
+        ring_allreduce_schedule,
+        tree_allreduce_schedule,
+    )
+
+    if nranks <= 0:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    network = NetworkModel(machine)
+    gpu = machine.node.gpu
+    if topology is not None and topology.hierarchical:
+        groups: dict[tuple[int, int], list[int]] = {}
+        for rank in range(nranks):
+            groups.setdefault(topology.island_of(rank), []).append(rank)
+        islands = [groups[key] for key in sorted(groups)]
+    else:
+        islands = [[rank] for rank in range(nranks)]
+    everyone = list(range(nranks))
+    if algorithm == "ring":
+        schedules = {
+            rank: ring_allreduce_schedule(rank, everyone, count, element_size, "sum")
+            for rank in everyone
+        }
+    elif algorithm == "tree":
+        schedules = {
+            rank: tree_allreduce_schedule(rank, nranks, count, element_size, "sum")
+            for rank in everyone
+        }
+    elif algorithm == "hierarchical":
+        schedules = {
+            rank: hierarchical_allreduce_schedule(
+                rank, nranks, count, element_size, "sum", islands
+            )
+            for rank in everyone
+        }
+    else:
+        raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+    by_round: dict[int, list[tuple[int, object]]] = {}
+    for rank, stages in schedules.items():
+        for stage in stages:
+            by_round.setdefault(stage.round, []).append((rank, stage))
+    clocks = [0.0] * nranks
+    reduce_charged = [0.0] * nranks
+    for round_index in sorted(by_round):
+        arrivals: dict[tuple[int, int], float] = {}
+        for rank, stage in by_round[round_index]:
+            if stage.dest >= 0:
+                wire = _allreduce_wire(
+                    rank, stage.dest, stage.send_nbytes, network, topology, ranks_per_node
+                )
+                arrivals[(rank, stage.dest)] = clocks[rank] + wire
+        for rank, stage in by_round[round_index]:
+            if stage.source < 0:
+                continue
+            landing = arrivals[(stage.source, rank)]
+            clocks[rank] = max(clocks[rank], landing)
+            if stage.combine and stage.recv_nbytes:
+                charge = gpu.kernel_time(
+                    stage.recv_nbytes, stage.recv_nbytes, target="device", unpack=True
+                )
+                clocks[rank] += charge
+                reduce_charged[rank] += charge
+    rounds = (max(by_round) + 1) if by_round else 0
+    return AllreduceBreakdown(
+        nranks=nranks,
+        nbytes=count * element_size,
+        algorithm=algorithm,
+        rounds=rounds,
+        reduce_s=max(reduce_charged),
+        completion_s=max(clocks),
+    )
+
+
+def allreduce_hierarchy_speedup(
+    nranks: int,
+    count: int,
+    element_size: int = 4,
+    *,
+    machine: MachineSpec = SUMMIT,
+    topology: Topology | None = None,
+    ranks_per_node: int = 2,
+) -> float:
+    """Completion ratio ring / hierarchical on one topology — > 1 whenever
+    concentrating cross-island hops on leaders beats the flat ring's
+    ``2(N-1)`` chunk trips over oversubscribed uplinks (the quantity
+    ``bench_allreduce.py`` measures functionally)."""
+    ring = model_allreduce(
+        nranks, count, element_size, algorithm="ring",
+        machine=machine, topology=topology, ranks_per_node=ranks_per_node,
+    )
+    hierarchical = model_allreduce(
+        nranks, count, element_size, algorithm="hierarchical",
+        machine=machine, topology=topology, ranks_per_node=ranks_per_node,
+    )
+    return ring.completion_s / hierarchical.completion_s
+
+
+@dataclass(frozen=True)
+class MoEBreakdown:
+    """Modelled timeline of one skewed MoE dispatch round."""
+
+    nranks: int
+    hot_expert: int
+    #: Tokens landing at the hot expert vs the busiest cold expert.
+    hot_tokens: int
+    cold_tokens: int
+    #: Last landing of the round — its completion.
+    completion_s: float
+    #: Receive-side queueing seconds at the hot expert's ingestion port.
+    hot_ingest_stalled_s: float
+    #: The worst cold expert's queueing seconds (the uniform background).
+    cold_ingest_stalled_s: float
+
+
+def model_moe_exchange(
+    counts,
+    token_bytes: int,
+    *,
+    hot_expert: int = 0,
+    machine: MachineSpec = SUMMIT,
+    nic: str = "duplex",
+    wire_overlap: float = DEFAULT_WIRE_OVERLAP,
+) -> MoEBreakdown:
+    """Price one MoE dispatch round on the duplex NIC rules.
+
+    ``counts`` is the :func:`repro.apps.moe.moe_counts` routing matrix; each
+    off-diagonal ``(sender, expert)`` cell with tokens becomes one packed
+    message (one pack kernel, ``token_bytes/2`` runs — the pitched-row
+    datatype's block) reserved on the sender's injection port and ingested
+    at the expert, all on one real :class:`~repro.machine.nic.NicTimeline`
+    so the walk can never drift from the simulator's contention rules.  The
+    skew signature is ``hot_ingest_stalled_s`` pulling away from the worst
+    cold expert's as the hot expert's share grows — the analytic companion
+    of ``bench_moe.py``'s functional ``hot_excess_stalls``.
+    """
+    if nic not in ("duplex", "inject_only"):
+        raise ValueError(f"nic must be 'duplex' or 'inject_only', got {nic!r}")
+    matrix = [list(map(int, row)) for row in counts]
+    nranks = len(matrix)
+    if nranks == 0 or any(len(row) != nranks for row in matrix):
+        raise ValueError("counts must be a non-empty square matrix")
+    if token_bytes <= 0 or token_bytes % 2:
+        raise ValueError(f"token_bytes must be positive and even, got {token_bytes}")
+    hot = hot_expert % nranks
+    network = NetworkModel(machine)
+    gpu = machine.node.gpu
+    timeline = NicTimeline(wire_overlap=wire_overlap, ledger_limit=0)
+    flows: dict[int, list[tuple[int, object, float]]] = {dst: [] for dst in range(nranks)}
+    for sender in range(nranks):
+        for expert in range(nranks):
+            tokens = matrix[sender][expert]
+            if sender == expert or tokens == 0:
+                continue
+            nbytes = tokens * token_bytes
+            pack = gpu.kernel_time(
+                nbytes, token_bytes // 2, target="device", unpack=False
+            )
+            wire = network.message_time(nbytes, same_node=False, device_buffers=True)
+            reservation = timeline.reserve(sender, expert, pack, wire, nbytes)
+            flows[expert].append((sender, reservation, wire))
+    completion = 0.0
+    stalled = [0.0] * nranks
+    for expert in range(nranks):
+        if not flows[expert]:
+            continue
+        arrivals = [reservation.arrival for _, reservation, _ in flows[expert]]
+        if nic == "duplex":
+            landings = timeline.ingest(
+                expert,
+                [
+                    IngestRecord(
+                        post_time=reservation.start,
+                        source=sender,
+                        seq=reservation.seq,
+                        wire_s=wire,
+                        arrival=reservation.arrival,
+                    )
+                    for sender, reservation, wire in flows[expert]
+                ],
+            )
+        else:
+            landings = arrivals
+        completion = max(completion, max(landings))
+        stalled[expert] = sum(
+            landing - arrival for landing, arrival in zip(landings, arrivals)
+        )
+    received = [
+        sum(matrix[sender][expert] for sender in range(nranks) if sender != expert)
+        for expert in range(nranks)
+    ]
+    cold = [index for index in range(nranks) if index != hot]
+    return MoEBreakdown(
+        nranks=nranks,
+        hot_expert=hot,
+        hot_tokens=received[hot],
+        cold_tokens=max((received[index] for index in cold), default=0),
+        completion_s=completion,
+        hot_ingest_stalled_s=stalled[hot],
+        cold_ingest_stalled_s=max((stalled[index] for index in cold), default=0.0),
+    )
+
+
+@dataclass(frozen=True)
+class PipelineBreakdown:
+    """Modelled timeline of one pipeline-parallel forward pass."""
+
+    nranks: int
+    microbatches: int
+    #: Wire seconds of one activation hop.
+    hop_wire_s: float
+    #: Pack seconds of one activation (the pitched-row kernel).
+    pack_s: float
+    #: When the first microbatch reaches the last stage (the fill ramp).
+    fill_s: float
+    #: When the last microbatch reaches the last stage — the pass's completion.
+    completion_s: float
+
+
+def model_pipeline_chain(
+    nranks: int,
+    microbatches: int,
+    activation_bytes: int,
+    *,
+    machine: MachineSpec = SUMMIT,
+    ranks_per_node: int = 2,
+    topology: Topology | None = None,
+) -> PipelineBreakdown:
+    """Price a forward activation relay through an ``nranks`` chain.
+
+    The recurrence mirrors :func:`repro.apps.pipeline.run_pipeline` exactly:
+    stage ``r`` hands microbatch ``m`` to the wire once it holds the payload
+    *and* has finished handing off microbatch ``m-1`` (its port serialises),
+    each hop pays one pack kernel plus the wire, and each delivery pays the
+    scatter-side unpack.  Completion is the last stage's receipt of the last
+    microbatch: the classic ``fill + (M-1) * interval`` pipeline law, with
+    the interval set by the slowest of pack and wire.
+    """
+    if nranks <= 0:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    if microbatches <= 0:
+        raise ValueError(f"microbatches must be positive, got {microbatches}")
+    if activation_bytes <= 0 or activation_bytes % 2:
+        raise ValueError(
+            f"activation_bytes must be positive and even, got {activation_bytes}"
+        )
+    network = NetworkModel(machine)
+    gpu = machine.node.gpu
+    half = activation_bytes // 2
+    pack = gpu.kernel_time(activation_bytes, half, target="device", unpack=False)
+    unpack = gpu.kernel_time(activation_bytes, half, target="device", unpack=True)
+    ready = [[0.0] * microbatches for _ in range(nranks)]
+    sent = [[0.0] * microbatches for _ in range(nranks)]
+    first_hop_wire = 0.0
+    for rank in range(nranks - 1):
+        wire = _allreduce_wire(
+            rank, rank + 1, activation_bytes, network, topology, ranks_per_node
+        )
+        if rank == 0:
+            first_hop_wire = wire
+        for microbatch in range(microbatches):
+            holds = ready[rank][microbatch]
+            port_free = sent[rank][microbatch - 1] if microbatch else 0.0
+            sent[rank][microbatch] = max(holds, port_free) + pack
+            ready[rank + 1][microbatch] = max(
+                sent[rank][microbatch] + wire,
+                ready[rank + 1][microbatch - 1] if microbatch else 0.0,
+            ) + unpack
+    last = nranks - 1
+    return PipelineBreakdown(
+        nranks=nranks,
+        microbatches=microbatches,
+        hop_wire_s=first_hop_wire,
+        pack_s=pack,
+        fill_s=ready[last][0] if nranks > 1 else 0.0,
+        completion_s=ready[last][microbatches - 1] if nranks > 1 else 0.0,
+    )

@@ -39,6 +39,15 @@ used while studying the model:
     representative pair per path class with its hops, bound ledgers and
     wire times.
 
+``python -m repro.cli replay trace.json``
+    Replay a recorded communication trace (:mod:`repro.apps.replay`: MoE
+    dispatch rounds, pipeline hops, allreduces — anything emitting the
+    op/counts/peers schema) through TEMPI's interposer on a fresh world,
+    twice, and assert the priced clocks, counters and payload digests are
+    bit-identical across the runs before printing the per-rank breakdown.
+    ``--runs`` raises the repetition count, ``--allreduce-algorithm`` and
+    ``--nic`` pin the config knobs the replay prices under.
+
 ``python -m repro.cli lint``
     Run the static determinism lint (:mod:`tools.analyze`) over the source
     tree: wall-clock/randomness on priced paths, mutation reachable from
@@ -134,6 +143,24 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "(ignored when --spec is given)")
     topo_show.add_argument("--size", type=int, default=1 << 20,
                            help="sample message bytes for the per-class wire times")
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a recorded communication trace and report priced clocks",
+    )
+    replay.add_argument("trace", type=Path,
+                        help="trace JSON document (see repro.apps.replay for the schema)")
+    replay.add_argument("--measurement", type=Path, default=None,
+                        help="measurement file for the performance model "
+                             "(default: measure in-process)")
+    replay.add_argument("--runs", type=int, default=2,
+                        help="independent replays to run; all must agree bit-for-bit "
+                             "(default: 2)")
+    replay.add_argument("--allreduce-algorithm", default="auto",
+                        choices=("auto", "ring", "tree", "hierarchical"),
+                        help="pin the allreduce schedule replayed allreduce records use")
+    replay.add_argument("--nic", default="duplex", choices=("duplex", "inject_only"),
+                        help="NIC accounting mode the replay prices under")
 
     lint = sub.add_parser(
         "lint",
@@ -381,6 +408,50 @@ def _repo_root() -> Optional[Path]:
     return None
 
 
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.apps.replay import TraceError, load_trace, replay_trace
+    from repro.tempi.config import TempiConfig
+
+    if args.runs < 1:
+        print("error: --runs must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        trace = load_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    except TraceError as exc:
+        print(f"error: malformed trace: {exc}", file=sys.stderr)
+        return 2
+    model = _load_model(args.measurement)
+    config = TempiConfig(allreduce_algorithm=args.allreduce_algorithm, nic=args.nic)
+    results = [replay_trace(trace, model=model, config=config) for _ in range(args.runs)]
+    first = results[0]
+    for index, result in enumerate(results[1:], start=2):
+        if (
+            result.clocks != first.clocks
+            or result.stats != first.stats
+            or result.digests != first.digests
+        ):
+            print(
+                f"error: run {index} diverged from run 1 "
+                "(clocks/counters/digests are not bit-identical)",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"trace    : {args.trace} ({first.ops} ops, {first.nranks} ranks)")
+    print(f"runs     : {args.runs} replays, bit-identical clocks/counters/digests")
+    for rank, (clock, stats) in enumerate(zip(first.clocks, first.stats)):
+        print(
+            f"rank {rank:3d} : {clock * 1e3:10.4f} ms | "
+            f"plans {stats['plans_built']:4d} | "
+            f"stalls inj {stats['contention_stalls']:3d} "
+            f"ing {stats['ingest_stalls']:3d}"
+        )
+    print(f"completion: {first.completion_s * 1e3:.4f} ms")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     root = _repo_root()
     if root is None:
@@ -570,6 +641,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         raise AssertionError(
             f"unhandled topo command {args.topo_command!r}"
         )  # pragma: no cover
+    if args.command == "replay":
+        return _cmd_replay(args)
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "sanitize":

@@ -164,6 +164,73 @@ def allreduce_scalar(comm, value: float, op: str = "sum") -> float:
     return float(min(values))
 
 
+#: Element-wise combiners of the vector ``allreduce`` (MPI_SUM/PROD/MIN/MAX).
+_REDUCE_UFUNCS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+}
+
+
+def allreduce(comm, send_spec, recv_spec, op: str = "sum") -> None:
+    """Naive vector allreduce: every rank fans its contribution to every peer.
+
+    Each rank posts its raw send buffer to all ``N-1`` peers, collects the
+    ``N-1`` contributions, and folds them element-wise in ascending-rank
+    order (rank 0's vector first), so every rank applies the identical
+    combine sequence.  This is the system path TEMPI falls back to *and*
+    the reference schedule the interposed ring/tree/hierarchical plans are
+    pinned against byte-for-byte (``tests/property/test_property_allreduce``).
+    """
+    ufunc = _REDUCE_UFUNCS.get(op)
+    if ufunc is None:
+        raise MpiArgumentError(
+            f"unsupported reduction {op!r}; expected one of {tuple(_REDUCE_UFUNCS)}"
+        )
+    tag = _next_collective_tag(comm)
+    send_buffer, send_count, send_type = comm._resolve(send_spec)
+    recv_buffer, recv_count, recv_type = comm._resolve(recv_spec)
+    if recv_type.numpy_dtype is None:
+        raise MpiArgumentError(
+            f"allreduce needs an elementary datatype, got {recv_type.name}"
+        )
+    dtype = np.dtype(recv_type.numpy_dtype)
+    nbytes = recv_type.size * recv_count
+    if send_type.size * send_count != nbytes:
+        raise MpiArgumentError(
+            f"allreduce send extent ({send_type.size * send_count} B) does not "
+            f"match recv extent ({nbytes} B)"
+        )
+    payload = send_buffer.data[:nbytes].copy()
+    for peer in range(comm.size):
+        if peer == comm.rank:
+            continue
+        duration = comm._message_time(nbytes, peer, send_buffer.is_device)
+        _post_raw(comm, peer, tag, payload, comm.clock.now + duration)
+    if comm.size > 1:
+        comm.clock.advance(
+            comm._message_time(nbytes, (comm.rank + 1) % comm.size, send_buffer.is_device)
+        )
+    contributions = {comm.rank: payload}
+    for _ in range(comm.size - 1):
+        envelope = _receive_raw(comm, -1, tag)
+        comm.clock.advance_to(envelope.available_at)
+        if envelope.nbytes != nbytes:
+            raise MpiArgumentError(
+                f"rank {comm.rank} expected a {nbytes}-byte allreduce contribution "
+                f"from rank {envelope.source}, got {envelope.nbytes}"
+            )
+        contributions[envelope.source] = envelope.payload
+    accumulator = recv_buffer.data[:nbytes].view(dtype)
+    for index, source in enumerate(sorted(contributions)):
+        contribution = contributions[source][:nbytes].view(dtype)
+        if index == 0:
+            accumulator[:] = contribution
+        else:
+            ufunc(accumulator, contribution, out=accumulator)
+
+
 # --------------------------------------------------------------------------- #
 # All-to-all-v
 # --------------------------------------------------------------------------- #

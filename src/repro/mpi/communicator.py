@@ -369,6 +369,10 @@ class Communicator:
         """Allreduce of one Python scalar (sum/max/min)."""
         return _collectives.allreduce_scalar(self, value, op)
 
+    def Allreduce(self, sendbuf: BufferSpec, recvbuf: BufferSpec, op: str = "sum") -> None:
+        """``MPI_Allreduce`` (vector form, elementary datatypes)."""
+        _collectives.allreduce(self, sendbuf, recvbuf, op)
+
     def Allgather_object(self, value) -> list:
         """Allgather of one picklable Python object per rank."""
         return _collectives.allgather_object(self, value)

@@ -39,6 +39,12 @@ SELECTION_MODES = ("model", "contended", "fixed")
 #: keeps the PR-3/PR-4 send-side-only accounting as an ablation.
 NIC_MODES = ("duplex", "inject_only")
 
+#: Allreduce schedules accepted by ``TempiConfig.allreduce_algorithm``.
+#: ``"auto"`` defers to :func:`repro.tempi.selection.choose_allreduce_algorithm`
+#: (topology- and size-aware); the named algorithms pin the schedule for
+#: ablations and the property wall.
+ALLREDUCE_ALGORITHMS = ("auto", "ring", "tree", "hierarchical")
+
 #: Ambient default of ``TempiConfig.sanitize``: ``repro sanitize`` (and the
 #: tests) flip it through :func:`sanitize_default` so benchmarks that build
 #: their own configs replay under the sanitizer without modification.
@@ -86,6 +92,14 @@ class TempiConfig:
     #: (``bench_fig9_selection.py`` measures the shift); ``"fixed"`` requires
     #: ``method`` to name a concrete method and never queries the model.
     selection: str = "model"
+    #: Allreduce schedule for the interposed ``Allreduce``/``Iallreduce``.
+    #: ``"auto"`` (the default) picks per call through
+    #: :func:`repro.tempi.selection.choose_allreduce_algorithm` — the
+    #: hierarchical schedule under a hierarchical topology, the binomial tree
+    #: for latency-bound vectors, the chunked ring otherwise; ``"ring"``,
+    #: ``"tree"`` and ``"hierarchical"`` pin the schedule for ablations
+    #: (``bench_allreduce.py`` measures the spread).
+    allreduce_algorithm: str = "auto"
     #: Overlap pack kernels with wire time: the plan executor issues each
     #: peer's pack on its own stream and posts that peer's message the moment
     #: its pack completes.  ``False`` reproduces the serial engine (pack every
@@ -187,6 +201,11 @@ class TempiConfig:
         if self.nic not in NIC_MODES:
             raise ValueError(
                 f"unknown nic mode {self.nic!r}; expected one of {NIC_MODES}"
+            )
+        if self.allreduce_algorithm not in ALLREDUCE_ALGORITHMS:
+            raise ValueError(
+                f"unknown allreduce algorithm {self.allreduce_algorithm!r}; "
+                f"expected one of {ALLREDUCE_ALGORITHMS}"
             )
         if self.plan_cache_size < 1:
             raise ValueError(f"plan_cache_size must be >= 1, got {self.plan_cache_size}")

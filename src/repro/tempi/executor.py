@@ -55,9 +55,20 @@ from repro.tempi.plan import (
     MessagePlan,
     PackStage,
     PlanError,
+    ReduceStage,
     UnpackStage,
     staging_kind,
 )
+
+#: Elementwise reduction kernels a :class:`~repro.tempi.plan.ReduceStage`
+#: may name.  All four are deterministic numpy ufuncs; the combine order is
+#: the schedule's, so run-to-run results are bit-identical by construction.
+_REDUCE_UFUNCS = {
+    "sum": np.add,
+    "prod": np.multiply,
+    "min": np.minimum,
+    "max": np.maximum,
+}
 from repro.tempi.progress import PlanWindow, ProgressEngine
 
 
@@ -141,6 +152,8 @@ class PlanExecutor:
             return self._execute_recv(plan)
         if plan.op == "bcast":
             return self._execute_bcast(plan)
+        if plan.op == "allreduce":
+            return self._execute_allreduce(plan)
         return self._execute_exchange(plan)
 
     # ---------------------------------------------------------------- helpers
@@ -605,6 +618,104 @@ class PlanExecutor:
             return latest
 
         return Request("coll", complete=complete, ready=ready, arrival=arrival)
+
+    # --------------------------------------------------------------- allreduce
+    def _reduce_time(self, nbytes: int, device: bool) -> float:
+        """One combine's clock charge: priced like an unpack kernel.
+
+        A reduction visits every arriving byte exactly like an unpack does
+        (read staging, write the user buffer), so it is charged through the
+        same cost-model seam — one contiguous ``nbytes`` run, launch and
+        sync included, since the executor folds combines synchronously
+        between rounds.
+        """
+        return self.comm.gpu.cost.kernel_time(
+            nbytes,
+            nbytes,
+            target="device" if device else "host",
+            unpack=True,
+            include_sync=True,
+        )
+
+    def _allreduce_round(self, stage: ReduceStage, plan: MessagePlan, dtype) -> None:
+        """Walk one reduction round: post the send half, fold the receive half."""
+        comm = self.comm
+        acc = plan.recv_buffer
+        if stage.dest >= 0:
+            wire = self._wire_time(stage.send_nbytes, stage.dest, acc.is_device)
+            payload = acc.view(stage.send_offset) if stage.send_offset else acc
+            if self.overlap and self.engine is not None:
+                slot = self.engine.reserve_wire(
+                    stage.dest, comm.clock.now, wire, stage.send_nbytes,
+                    device=acc.is_device,
+                )
+                self._post_slot(stage.dest, plan.tag, payload, stage.send_nbytes, slot)
+            else:
+                # The serial ablation prices each transfer independently,
+                # exactly like serial sends (no NIC serialisation).
+                self._post(
+                    stage.dest, plan.tag, payload, stage.send_nbytes,
+                    comm.clock.now + wire,
+                )
+        if stage.source < 0:
+            return
+        envelope = _receive_raw(comm, stage.source, plan.tag)
+        landing = (
+            self.engine.ingest_one(envelope)
+            if self.engine is not None
+            else envelope.available_at
+        )
+        comm.clock.advance_to(landing)
+        if envelope.nbytes != stage.recv_nbytes:
+            raise PlanError(
+                f"rank {comm.rank} expected a {stage.recv_nbytes}-byte reduction "
+                f"chunk from {stage.source}, got {envelope.nbytes}"
+            )
+        if not stage.recv_nbytes:
+            return
+        region = acc.data[stage.recv_offset : stage.recv_offset + stage.recv_nbytes]
+        if stage.combine:
+            comm.clock.advance(self._reduce_time(stage.recv_nbytes, acc.is_device))
+            ufunc = _REDUCE_UFUNCS[stage.op]
+            folded = region.view(dtype)
+            ufunc(folded, envelope.payload.view(dtype), out=folded)
+        else:
+            region[:] = envelope.payload
+
+    def _execute_allreduce(self, plan: MessagePlan) -> Request:
+        """Walk a reduction plan's rounds: each posts its chunk and folds the
+        arriving one.
+
+        Unlike the exchange plans there is no post-everything-first phase —
+        round ``k+1``'s outgoing partial *is* round ``k``'s fold — so the
+        whole schedule runs at ``Wait`` time: immediately for the blocking
+        call, deferred for ``Iallreduce`` (every rank must eventually wait,
+        as MPI requires of nonblocking collectives).  The accumulator is the
+        receive buffer, seeded from the send buffer; every wire slot goes
+        through the engine (injection, link, fabric and ingestion ledgers all
+        engage) and every combine is charged like an unpack kernel.
+        """
+        comm = self.comm
+        if plan.tag is None:
+            plan.tag = _next_collective_tag(comm)
+        dtype = np.dtype(plan.reduce_dtype)
+
+        def complete() -> Status:
+            if self.engine is not None:
+                self.engine.progress()
+            nbytes = plan.reduce_nbytes
+            plan.recv_buffer.data[:nbytes] = plan.send_buffer.data[:nbytes]
+            for stage in plan.reduce_stages:
+                self._allreduce_round(stage, plan, dtype)
+            return Status()
+
+        def ready() -> bool:
+            for stage in plan.reduce_stages:
+                if stage.source >= 0:
+                    return self._arrived(stage.source, plan.tag)
+            return True
+
+        return Request("coll", complete=complete, ready=ready)
 
     def _charge_serial_wire(self, plan: MessagePlan) -> None:
         """The serial engine's analytic wire charge, split by transfer path."""

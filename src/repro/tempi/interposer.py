@@ -41,6 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from typing import Sequence
 
 from repro.gpu.memory import Buffer
@@ -62,7 +64,12 @@ from repro.tempi.packer import Packer
 from repro.tempi.progress import ProgressEngine
 from repro.tempi.perf_model import PerformanceModel
 from repro.tempi.plan import MessagePlan, PlanSection
-from repro.tempi.selection import CalibrationRegistry, default_registry, make_selector
+from repro.tempi.selection import (
+    CalibrationRegistry,
+    choose_allreduce_algorithm,
+    default_registry,
+    make_selector,
+)
 from repro.tempi.strided_block import to_strided_block
 from repro.tempi.translate import TranslationError, translate
 
@@ -1298,6 +1305,119 @@ class TempiCommunicator:
                 sendtypes=sendtypes,
                 recvtypes=recvtypes,
             )
+        return request
+
+    # --------------------------------------------------------------- allreduce
+    def _allreduce_islands(self) -> Optional[list[list[int]]]:
+        """Rank groups sharing an NVLink island, for the hierarchical schedule.
+
+        ``None`` under a flat (or absent) topology — the singleton-island
+        default of :func:`repro.tempi.plan.compile_allreduce` then degrades
+        the hierarchical schedule to a pure leader ring.
+        """
+        topology = self._topology
+        if topology is None or not topology.hierarchical:
+            return None
+        groups: dict[tuple[int, int], list[int]] = {}
+        for rank in range(self._comm.size):
+            groups.setdefault(topology.island_of(rank), []).append(rank)
+        return [groups[key] for key in sorted(groups)]
+
+    def _allreduce_request(
+        self, sendbuf, recvbuf, op: str, *, nonblocking: bool
+    ) -> Optional[Request]:
+        """Compile an allreduce to a :class:`MessagePlan` and start it.
+
+        Returns ``None`` when the call is not TEMPI's business (host buffers,
+        non-elementary or mismatched datatypes, interposition disabled) — the
+        caller then runs the naive system fan-in.  Reduction plans never
+        consult the plan cache: the schedule is a pure function of
+        ``(rank, size, count, algorithm)`` and compiles in microseconds, so
+        the priced clocks stay trivially bit-identical across ``plan_cache``
+        configs (the property wall pins this).
+        """
+        cfg = self.config
+        if not (cfg.enabled and cfg.send_handling):
+            return None
+        comm = self._comm
+        send_buffer, send_count, send_type = comm._resolve(sendbuf)
+        recv_buffer, recv_count, recv_type = comm._resolve(recvbuf)
+        if send_type.numpy_dtype is None or recv_type.numpy_dtype is None:
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        if np.dtype(send_type.numpy_dtype) != np.dtype(recv_type.numpy_dtype):
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        if not (send_buffer.is_device and recv_buffer.is_device):
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        nbytes = recv_type.size * recv_count
+        if send_type.size * send_count != nbytes:
+            self.tempi.stats.collective_fallbacks += 1
+            return None
+        algorithm = choose_allreduce_algorithm(
+            comm.size, nbytes,
+            topology=self._topology,
+            algorithm=cfg.allreduce_algorithm,
+        )
+        islands = self._allreduce_islands() if algorithm == "hierarchical" else None
+        self._charge_interposition_overhead()
+        self.tempi.stats.collective_hits += 1
+        plan = _plan.compile_allreduce(
+            comm.rank,
+            comm.size,
+            send_buffer,
+            recv_buffer,
+            recv_count,
+            recv_type.size,
+            np.dtype(recv_type.numpy_dtype).name,
+            op=op,
+            algorithm=algorithm,
+            islands=islands,
+            nonblocking=nonblocking,
+        )
+        return self._executor.execute(plan)
+
+    def _allreduce_fallback(self, sendbuf, recvbuf, op: str) -> None:
+        """The system path: flush deferred sends, then the naive fan-in."""
+        self._engine.progress()  # a system collective is a progress point
+        view = self._sanitizer_view
+        if view is not None:
+            # A collective join: the last arriver merges the vector clocks.
+            view.barrier_enter(self._comm.size)
+        self._comm.Allreduce(sendbuf, recvbuf, op)
+
+    def Allreduce(self, sendbuf, recvbuf, op: str = "sum") -> None:
+        """``MPI_Allreduce`` compiled to a reduction plan (ring/tree/hierarchical).
+
+        Device buffers of one elementary datatype compile to a
+        :class:`MessagePlan` of :class:`~repro.tempi.plan.ReduceStage` rounds —
+        the schedule picked per call by
+        :func:`~repro.tempi.selection.choose_allreduce_algorithm` (or pinned
+        by ``config.allreduce_algorithm``) — and execute with combines priced
+        like unpack kernels.  Everything else falls through to the naive
+        system fan-in, byte-identically.
+        """
+        request = self._allreduce_request(sendbuf, recvbuf, op, nonblocking=False)
+        if request is None:
+            self._allreduce_fallback(sendbuf, recvbuf, op)
+            return
+        request.Wait()
+
+    def Iallreduce(self, sendbuf, recvbuf, op: str = "sum") -> Request:
+        """Nonblocking ``MPI_Iallreduce``: the whole reduction schedule —
+        every round's post, receive and combine — runs at ``Wait``/``Test``.
+
+        Because rounds are deferred end-to-end, interleaving *other blocking
+        traffic against the same peers* between ``Iallreduce`` and ``Wait``
+        can deadlock, exactly as unmatched eager traffic would in MPI; the
+        apps drive ``Wait`` before any such traffic.  The fallback runs the
+        naive fan-in immediately and returns an already-complete request.
+        """
+        request = self._allreduce_request(sendbuf, recvbuf, op, nonblocking=True)
+        if request is None:
+            self._allreduce_fallback(sendbuf, recvbuf, op)
+            return Request("null")
         return request
 
     def Neighbor_alltoallv(

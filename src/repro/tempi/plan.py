@@ -60,13 +60,18 @@ __all__ = [
     "PlanTemplate",
     "PostStage",
     "RecordingSelector",
+    "ReduceStage",
     "UnpackStage",
     "compile_allgather",
+    "compile_allreduce",
     "compile_bcast",
     "compile_exchange",
     "compile_recv",
     "compile_send",
+    "hierarchical_allreduce_schedule",
+    "ring_allreduce_schedule",
     "staging_kind",
+    "tree_allreduce_schedule",
 ]
 
 
@@ -146,6 +151,44 @@ class UnpackStage:
     stream: Optional[Stream] = None
 
 
+#: Reduction operators a :class:`ReduceStage` may carry.  All four are
+#: elementwise numpy kernels on the executor side; the property wall drives
+#: exactly-representable values so every schedule's combine order lands on
+#: the same bits (see ``docs/ARCHITECTURE.md`` § Workloads).
+REDUCE_OPS = ("sum", "prod", "min", "max")
+
+
+@dataclass
+class ReduceStage:
+    """One round of a reduction schedule: an optional send half and an
+    optional receive-and-combine half.
+
+    The fourth stage kind, next to pack/post/unpack: where an
+    :class:`UnpackStage` scatters arriving bytes into the user buffer, a
+    ``ReduceStage`` *combines* them into the accumulator (``op`` applied
+    elementwise), or overwrites when ``combine`` is false (the broadcast
+    half of every allreduce schedule).  ``dest``/``source`` of ``-1`` mark a
+    round where this rank only receives / only sends (tree interior vs leaf
+    ranks).  Offsets and byte counts are chunk positions into the flat
+    reduction vector; the executor prices the combine like an unpack kernel
+    over ``recv_nbytes`` contiguous bytes.
+    """
+
+    round: int
+    op: str
+    #: Send half: chunk ``[send_offset, send_offset + send_nbytes)`` of the
+    #: current accumulator goes to ``dest`` (skipped when ``dest < 0``).
+    dest: int = -1
+    send_offset: int = 0
+    send_nbytes: int = 0
+    #: Receive half: ``source``'s chunk lands at ``recv_offset`` (skipped
+    #: when ``source < 0``); ``combine`` folds it with ``op``, else copies.
+    source: int = -1
+    recv_offset: int = 0
+    recv_nbytes: int = 0
+    combine: bool = True
+
+
 @dataclass
 class MessagePlan:
     """One operation, compiled to stages.
@@ -155,7 +198,7 @@ class MessagePlan:
     plans, so that every rank of a collective agrees on it.
     """
 
-    op: str  # "send" | "recv" | "bcast" | "allgather" | "alltoallv" | "neighbor_alltoallv"
+    op: str  # "send" | "recv" | "bcast" | "allgather" | "alltoallv" | "neighbor_alltoallv" | "allreduce"
     send_buffer: Optional[Buffer] = None
     recv_buffer: Optional[Buffer] = None
     pack_stages: list[PackStage] = field(default_factory=list)
@@ -167,11 +210,23 @@ class MessagePlan:
     #: Nonblocking plans defer unpack to ``Request.Wait`` and complete their
     #: send side at buffer-reuse time instead of wire-completion time.
     nonblocking: bool = False
+    #: Reduction schedule (``op == "allreduce"`` only): the rounds this rank
+    #: walks, in order.  ``reduce_dtype`` is the numpy element type the
+    #: combines operate on; ``reduce_nbytes`` the flat vector's size.
+    reduce_stages: list[ReduceStage] = field(default_factory=list)
+    reduce_dtype: Optional[str] = None
+    reduce_nbytes: int = 0
 
     @property
     def nstages(self) -> int:
         local = 2 if self.local is not None else 0
-        return len(self.pack_stages) + len(self.post_stages) + len(self.unpack_stages) + local
+        return (
+            len(self.pack_stages)
+            + len(self.post_stages)
+            + len(self.unpack_stages)
+            + len(self.reduce_stages)
+            + local
+        )
 
     def method_counts(self) -> dict[str, int]:
         """Wire messages per method (one per post stage), for stats."""
@@ -776,4 +831,283 @@ def compile_exchange(
         unpack_stages=unpack_stages,
         local=local,
         nonblocking=nonblocking,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Allreduce schedules
+# --------------------------------------------------------------------------- #
+
+def _chunk_layout(count: int, parts: int, element_size: int) -> list[tuple[int, int]]:
+    """Split ``count`` elements into ``parts`` contiguous byte ranges.
+
+    Returns ``(offset_bytes, nbytes)`` per part; the first ``count % parts``
+    parts carry one extra element, so every boundary is element-aligned and
+    the layout is a pure function of ``(count, parts)`` — each rank computes
+    it independently and identically.
+    """
+    if parts <= 0:
+        raise PlanError(f"cannot split a vector into {parts} chunks")
+    base, extra = divmod(count, parts)
+    layout = []
+    offset = 0
+    for index in range(parts):
+        elements = base + (1 if index < extra else 0)
+        nbytes = elements * element_size
+        layout.append((offset, nbytes))
+        offset += nbytes
+    return layout
+
+
+def ring_allreduce_schedule(
+    rank: int,
+    ranks: Sequence[int],
+    count: int,
+    element_size: int,
+    op: str,
+    *,
+    round_base: int = 0,
+) -> list[ReduceStage]:
+    """The bandwidth-optimal ring: reduce-scatter then allgather.
+
+    ``ranks`` is the (ascending) participant list — the whole communicator
+    for a flat ring, the island leaders for the cross-leaf phase of the
+    hierarchical schedule.  Each of the ``2 * (N - 1)`` rounds moves one
+    ``count / N`` chunk to the right neighbour; after the first ``N - 1``
+    rounds rank ``i`` owns chunk ``(i + 1) % N`` fully reduced, and the
+    second ``N - 1`` rounds circulate the finished chunks (``combine=False``).
+    """
+    size = len(ranks)
+    if size <= 1:
+        return []
+    index = ranks.index(rank)
+    chunks = _chunk_layout(count, size, element_size)
+    right = ranks[(index + 1) % size]
+    left = ranks[(index - 1) % size]
+    stages = []
+    for step in range(size - 1):
+        send_chunk = (index - step) % size
+        recv_chunk = (index - step - 1) % size
+        stages.append(
+            ReduceStage(
+                round=round_base + step,
+                op=op,
+                dest=right,
+                send_offset=chunks[send_chunk][0],
+                send_nbytes=chunks[send_chunk][1],
+                source=left,
+                recv_offset=chunks[recv_chunk][0],
+                recv_nbytes=chunks[recv_chunk][1],
+                combine=True,
+            )
+        )
+    for step in range(size - 1):
+        send_chunk = (index - step + 1) % size
+        recv_chunk = (index - step) % size
+        stages.append(
+            ReduceStage(
+                round=round_base + size - 1 + step,
+                op=op,
+                dest=right,
+                send_offset=chunks[send_chunk][0],
+                send_nbytes=chunks[send_chunk][1],
+                source=left,
+                recv_offset=chunks[recv_chunk][0],
+                recv_nbytes=chunks[recv_chunk][1],
+                combine=False,
+            )
+        )
+    return stages
+
+
+def tree_allreduce_schedule(
+    rank: int,
+    size: int,
+    count: int,
+    element_size: int,
+    op: str,
+) -> list[ReduceStage]:
+    """The latency-optimal binomial tree: reduce to rank 0, broadcast back.
+
+    Full-vector messages over ``2 * ceil(log2 N)`` rounds: in reduce round
+    ``k`` every rank with bit ``k`` set sends its partial to ``rank - 2^k``
+    and goes idle; the broadcast phase replays those edges in reverse.  Works
+    for any ``N`` (receives from partners ``>= N`` are skipped).
+    """
+    if size <= 1:
+        return []
+    nbytes = count * element_size
+    parent = -1
+    parent_round = 0
+    children: list[tuple[int, int]] = []
+    mask = 1
+    rounds = 0
+    while mask < size:
+        if parent < 0:
+            if rank & mask:
+                parent = rank - mask
+                parent_round = rounds
+            else:
+                child = rank + mask
+                if child < size:
+                    children.append((child, rounds))
+        mask <<= 1
+        rounds += 1
+    stages = []
+    for child, k in children:
+        stages.append(
+            ReduceStage(
+                round=k, op=op, source=child, recv_offset=0, recv_nbytes=nbytes,
+                combine=True,
+            )
+        )
+    if parent >= 0:
+        stages.append(
+            ReduceStage(
+                round=parent_round, op=op, dest=parent,
+                send_offset=0, send_nbytes=nbytes,
+            )
+        )
+        stages.append(
+            ReduceStage(
+                round=rounds + (rounds - 1 - parent_round), op=op,
+                source=parent, recv_offset=0, recv_nbytes=nbytes, combine=False,
+            )
+        )
+    # Broadcast edges replay the reduce edges in reverse round order, so a
+    # rank forwards to its latest-reduced child first.
+    for child, k in sorted(children, key=lambda edge: -edge[1]):
+        stages.append(
+            ReduceStage(
+                round=rounds + (rounds - 1 - k), op=op, dest=child,
+                send_offset=0, send_nbytes=nbytes,
+            )
+        )
+    stages.sort(key=lambda stage: stage.round)
+    return stages
+
+
+def hierarchical_allreduce_schedule(
+    rank: int,
+    size: int,
+    count: int,
+    element_size: int,
+    op: str,
+    islands: Sequence[Sequence[int]],
+) -> list[ReduceStage]:
+    """Intra-island reduce → cross-leaf leader ring → intra-island broadcast.
+
+    ``islands`` partitions the communicator into locality groups (NVLink
+    islands under a hierarchical topology; singletons degrade this to a flat
+    ring).  Members fold into their island's leader (lowest rank) over the
+    expensive-path-free intra-island wires, the leaders run a chunked ring
+    across the fabric — the only phase that touches uplink ledgers — and the
+    result fans back out inside each island.
+    """
+    if size <= 1:
+        return []
+    nbytes = count * element_size
+    my_island = None
+    for group in islands:
+        if rank in group:
+            my_island = sorted(group)
+            break
+    if my_island is None:
+        raise PlanError(f"rank {rank} missing from the island partition")
+    leaders = sorted(min(group) for group in islands)
+    leader = my_island[0]
+    gather_rounds = max(len(group) for group in islands) - 1
+    stages: list[ReduceStage] = []
+    if rank == leader:
+        for position, member in enumerate(my_island[1:]):
+            stages.append(
+                ReduceStage(
+                    round=position, op=op, source=member,
+                    recv_offset=0, recv_nbytes=nbytes, combine=True,
+                )
+            )
+    else:
+        stages.append(
+            ReduceStage(
+                round=my_island.index(rank) - 1, op=op, dest=leader,
+                send_offset=0, send_nbytes=nbytes,
+            )
+        )
+    if rank == leader and len(leaders) > 1:
+        stages.extend(
+            ring_allreduce_schedule(
+                rank, leaders, count, element_size, op, round_base=gather_rounds,
+            )
+        )
+    bcast_base = gather_rounds + 2 * (len(leaders) - 1)
+    if rank == leader:
+        for position, member in enumerate(my_island[1:]):
+            stages.append(
+                ReduceStage(
+                    round=bcast_base + position, op=op, dest=member,
+                    send_offset=0, send_nbytes=nbytes,
+                )
+            )
+    else:
+        stages.append(
+            ReduceStage(
+                round=bcast_base + my_island.index(rank) - 1, op=op,
+                source=leader, recv_offset=0, recv_nbytes=nbytes, combine=False,
+            )
+        )
+    return stages
+
+
+def compile_allreduce(
+    rank: int,
+    size: int,
+    send_buffer: Buffer,
+    recv_buffer: Buffer,
+    count: int,
+    element_size: int,
+    dtype: str,
+    *,
+    op: str = "sum",
+    algorithm: str = "ring",
+    islands: Optional[Sequence[Sequence[int]]] = None,
+    nonblocking: bool = False,
+) -> MessagePlan:
+    """Compile one rank's side of an allreduce to a reduction plan.
+
+    Pure, like every compiler here: the schedule is a function of
+    ``(rank, size, count, algorithm)`` (plus the island partition for the
+    hierarchical algorithm), so all ranks independently compile matching
+    rounds.  The executor walks the rounds in order, posting the send half
+    and combining the receive half of each.
+    """
+    if op not in REDUCE_OPS:
+        raise PlanError(f"unknown reduction op {op!r}; expected one of {REDUCE_OPS}")
+    if count < 0:
+        raise PlanError(f"allreduce count must be non-negative, got {count}")
+    nbytes = count * element_size
+    if recv_buffer.nbytes < nbytes or send_buffer.nbytes < nbytes:
+        raise PlanError(
+            f"allreduce of {nbytes} bytes does not fit its buffers "
+            f"(send {send_buffer.nbytes}, recv {recv_buffer.nbytes})"
+        )
+    if algorithm == "ring":
+        stages = ring_allreduce_schedule(rank, list(range(size)), count, element_size, op)
+    elif algorithm == "tree":
+        stages = tree_allreduce_schedule(rank, size, count, element_size, op)
+    elif algorithm == "hierarchical":
+        if islands is None:
+            islands = [[r] for r in range(size)]
+        stages = hierarchical_allreduce_schedule(
+            rank, size, count, element_size, op, islands
+        )
+    else:
+        raise PlanError(f"unknown allreduce algorithm {algorithm!r}")
+    return MessagePlan(
+        op="allreduce",
+        send_buffer=send_buffer,
+        recv_buffer=recv_buffer,
+        nonblocking=nonblocking,
+        reduce_stages=stages,
+        reduce_dtype=dtype,
+        reduce_nbytes=nbytes,
     )

@@ -721,6 +721,55 @@ def make_selector(
     return ModelSelector(model, cache=cache, clock=clock, config=config, stats=stats)
 
 
+#: Vectors at or below this many bytes are latency-bound: the binomial tree's
+#: ``ceil(log2 N)`` full-vector hops beat the ring's ``2(N-1)`` chunk hops
+#: because every chunk hop still pays the per-message latency floor.
+ALLREDUCE_TREE_CUTOFF_BYTES = 16384
+
+
+def choose_allreduce_algorithm(
+    nranks: int,
+    nbytes: int,
+    *,
+    topology: Optional[Topology] = None,
+    algorithm: str = "auto",
+    tree_cutoff: int = ALLREDUCE_TREE_CUTOFF_BYTES,
+) -> str:
+    """Pick the allreduce schedule for one call (``config.allreduce_algorithm``).
+
+    A non-``"auto"`` ``algorithm`` always wins — the ablation knob
+    ``bench_allreduce.py`` sweeps.  Under ``"auto"`` the policy is pure
+    (no clock charge, no NIC read, deterministic in its arguments):
+
+    * two ranks (or fewer) degenerate to the tree — the ring's chunking
+      buys nothing at that scale;
+    * a hierarchical topology whose islands actually group ranks (more
+      than one island, fewer islands than ranks) takes the hierarchical
+      schedule, concentrating cross-island traffic on one leader per
+      island so oversubscribed uplinks carry ``L-1`` messages per round
+      instead of ``N-1``;
+    * latency-bound vectors (``nbytes <= tree_cutoff``) take the binomial
+      tree's ``O(log N)`` rounds;
+    * everything else takes the bandwidth-optimal chunked ring.
+    """
+    if algorithm != "auto":
+        if algorithm not in ("ring", "tree", "hierarchical"):
+            raise SelectionError(
+                f"unknown allreduce algorithm {algorithm!r}; "
+                "expected 'auto', 'ring', 'tree' or 'hierarchical'"
+            )
+        return algorithm
+    if nranks <= 2:
+        return "tree"
+    if topology is not None and topology.hierarchical:
+        islands = {topology.island_of(rank) for rank in range(nranks)}
+        if 1 < len(islands) < nranks:
+            return "hierarchical"
+    if nbytes <= tree_cutoff:
+        return "tree"
+    return "ring"
+
+
 # --------------------------------------------------------------------------- #
 # Calibration registry
 # --------------------------------------------------------------------------- #

@@ -47,6 +47,17 @@ def summit_model(summit_measurement) -> PerformanceModel:
 
 
 @pytest.fixture
+def moe_seed() -> int:
+    """The multinomial routing seed the MoE workload tests draw under.
+
+    One fixed seed keeps the skewed token-routing matrices — and therefore
+    the incast stall counts the tests pin — identical across runs and
+    machines.  Matches ``benchmarks/bench_moe.py``'s ``SEED``.
+    """
+    return 3
+
+
+@pytest.fixture
 def small_gpu_cost() -> GpuCostModel:
     """A cost model with round numbers, convenient for arithmetic assertions."""
     return GpuCostModel(

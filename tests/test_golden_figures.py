@@ -2,7 +2,8 @@
 
 ``tests/fixtures/golden_figures.json`` freezes small sweeps of the Fig. 9
 burst selection, the Fig. 14 overlap latencies, the Fig. 15 contention
-efficiency and the incast receiver-side pricing (see
+efficiency, the incast receiver-side pricing, the allreduce schedule
+clocks and the skewed MoE dispatch round (see
 ``tools/make_golden_fixtures.py``).  This tier-1 test
 reruns the exact same sweeps and compares under **exact equality** — the
 simulated figures are pure virtual-clock arithmetic, so even a one-ulp

@@ -5,9 +5,11 @@ virtual clocks and the shared NIC's arithmetic, never from wall-clock or
 thread timing.  This script freezes small sweeps of four of them —
 ``bench_fig9_selection`` (burst selection), ``bench_fig14_overlap``
 (overlap latencies), ``bench_fig15_contention`` (concurrent-plan
-contention) and ``bench_incast`` (receiver-side ingestion pricing; the
+contention), ``bench_incast`` (receiver-side ingestion pricing; the
 sender flows are symmetric, so the receiver's completion clock and stall
-counts are independent of thread scheduling) — into
+counts are independent of thread scheduling), ``bench_allreduce``
+(ring/tree/hierarchical schedule clocks on the fat-tree example) and
+``bench_moe`` (skewed dispatch clocks, stalls and payload digests) — into
 ``tests/fixtures/golden_figures.json``, and
 ``tests/test_golden_figures.py`` replays them under exact equality every
 tier-1 run.  Any change that moves a priced figure value — however small —
@@ -35,16 +37,20 @@ FIG9_BURSTS = (0, 2)
 FIG14_RANKS = (2, 4)
 FIG15_PLANS = (1, 2)
 INCAST_SENDERS = (1, 2, 4)
+ALLREDUCE_NODES = (2, 3)
+MOE_SKEWS = (1.0, 4.0)
 
 
 def build_fixture(model) -> dict:
     """Run the pinned sweeps and shape them into a JSON-native document."""
     sys.path.insert(0, str(BENCHMARKS))
     try:
+        import bench_allreduce as allreduce
         import bench_fig9_selection as fig9
         import bench_fig14_overlap as fig14
         import bench_fig15_contention as fig15
         import bench_incast as incast
+        import bench_moe as moe
     finally:
         sys.path.remove(str(BENCHMARKS))
 
@@ -71,6 +77,29 @@ def build_fixture(model) -> dict:
         for senders, row in incast.run_incasts(INCAST_SENDERS, model).items()
     }
 
+    allreduces = {
+        str(nodes): {
+            "ring": row["ring"]["clocks"],
+            "tree": row["tree"]["clocks"],
+            "hierarchical": row["hierarchical"]["clocks"],
+            "auto": row["auto"]["clocks"],
+            "digest": row["ring"]["digest"],
+            "analytic_speedup": row["analytic_speedup"],
+        }
+        for nodes, row in allreduce.run_allreduces(ALLREDUCE_NODES, model).items()
+    }
+    moes = {
+        str(skew): {
+            "clocks": row["result"].clocks,
+            "ingest_stalls": row["result"].rank_ingest_stalls,
+            "hot_excess": row["excess"],
+            "digests": row["result"].digests,
+            "twin_hot_stalled_s": row["twin"].hot_ingest_stalled_s,
+            "twin_cold_stalled_s": row["twin"].cold_ingest_stalled_s,
+        }
+        for skew, row in moe.run_moes(MOE_SKEWS, model).items()
+    }
+
     return {
         "schema": 1,
         "fig9": {
@@ -83,6 +112,8 @@ def build_fixture(model) -> dict:
         "fig14": overlap,
         "fig15": {str(plans): row for plans, row in contention.items()},
         "incast": incasts,
+        "allreduce": allreduces,
+        "moe": moes,
     }
 
 
